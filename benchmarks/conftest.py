@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table or figure.  GA searches are
+measured with ``benchmark.pedantic(rounds=1)`` — a search is minutes of
+simulated measurements, so statistical repetition happens across the
+population, not across benchmark rounds.  Evolved viruses are memoised
+per (platform, metric, seed, scale), so e.g. Table III reuses the
+Figure 5/6 viruses exactly as the paper derives its tables from the
+same runs.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+regenerated figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import GAScale
+
+#: Stock search effort for the power figures: enough for every paper
+#: shape to hold with margin, ~15-30 s per GA search.
+POWER_SCALE = GAScale(population_size=24, generations=35)
+
+#: Ablations compare GA configurations against each other and only need
+#: relative signal.
+ABLATION_SCALE = GAScale(population_size=16, generations=18)
+
+
+@pytest.fixture(scope="session")
+def power_scale():
+    return POWER_SCALE
+
+
+@pytest.fixture(scope="session")
+def ablation_scale():
+    return ABLATION_SCALE
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with a single timed invocation."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

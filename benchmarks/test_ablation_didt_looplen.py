@@ -1,0 +1,47 @@
+"""Ablation: dI/dt loop length vs the resonance rule of thumb.
+
+Paper (Section III.A): "A rule of thumb that is found to work well for
+dI/dt noise is to have the loop instruction length equal to
+IPC x clock_frequency / resonance_frequency".  We evolve dI/dt viruses
+at the rule-of-thumb length, at half of it and at a quarter of it; the
+rule-of-thumb search must find the most voltage noise.
+"""
+
+from repro.experiments import GAScale, didt_loop_length, evolve_virus, \
+    make_machine
+
+from conftest import run_once
+
+
+def _ablation(scale_pop, scale_gens):
+    machine = make_machine("athlon_x4")
+    resonant = didt_loop_length(machine)
+    results = {}
+    for label, size in (("rule_of_thumb", resonant),
+                        ("half", max(4, resonant // 2)),
+                        ("quarter", max(3, resonant // 4))):
+        scale = GAScale(population_size=scale_pop,
+                        generations=scale_gens,
+                        individual_size=size,
+                        mutation_rate=max(0.02, round(1.0 / size, 4)))
+        virus = evolve_virus("athlon_x4", "didt", seed=31, scale=scale,
+                             use_cache=False)
+        results[label] = (size, virus.fitness)
+    return resonant, results
+
+
+def test_ablation_didt_loop_length(benchmark, ablation_scale):
+    resonant, results = run_once(
+        benchmark, _ablation,
+        ablation_scale.population_size, ablation_scale.generations)
+
+    print(f"\nresonance rule-of-thumb length: {resonant}")
+    for label, (size, fitness) in results.items():
+        print(f"  {label:14s} loop={size:3d}  "
+              f"pk-pk={fitness * 1000:7.2f} mV")
+
+    # The rule-of-thumb length is in the paper's typical 15-50 range.
+    assert 15 <= resonant <= 50
+    # Matching the resonance period beats much shorter loops.
+    assert results["rule_of_thumb"][1] > results["half"][1]
+    assert results["rule_of_thumb"][1] > results["quarter"][1] * 1.5

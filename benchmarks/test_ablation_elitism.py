@@ -1,0 +1,59 @@
+"""Ablation: elitism (Table I lists it among the defaults).
+
+With elitism the best individual is promoted unchanged, so the
+best-fitness series is (noise-tolerance) monotone; without it the
+series regresses when crossover/mutation destroy the champion.
+"""
+
+from repro.analysis.convergence import is_monotonic
+from repro.core.config import GAParameters, RunConfig
+from repro.core.engine import GeneticEngine
+from repro.cpu import SimulatedMachine, SimulatedTarget
+from repro.fitness import DefaultFitness
+from repro.isa import arm_library, arm_template
+from repro.measurement import PowerMeasurement
+
+from conftest import run_once
+
+SEEDS = (3, 4, 5)
+
+
+def _series(elitism, seed, scale):
+    machine = SimulatedMachine("cortex_a15", seed=seed)
+    target = SimulatedTarget(machine)
+    target.connect()
+    ga = GAParameters(population_size=scale.population_size,
+                      individual_size=scale.individual_size,
+                      mutation_rate=scale.effective_mutation_rate(),
+                      elitism=elitism,
+                      generations=scale.generations, seed=seed)
+    config = RunConfig(ga=ga, library=arm_library(),
+                       template_text=arm_template())
+    engine = GeneticEngine(config,
+                           PowerMeasurement(target, {"samples": "4"}),
+                           DefaultFitness())
+    return engine.run().best_fitness_series()
+
+
+def _ablation(scale):
+    return {
+        True: [_series(True, s, scale) for s in SEEDS],
+        False: [_series(False, s, scale) for s in SEEDS],
+    }
+
+
+def test_ablation_elitism(benchmark, ablation_scale):
+    series = run_once(benchmark, _ablation, ablation_scale)
+
+    final_with = sum(s[-1] for s in series[True]) / len(SEEDS)
+    final_without = sum(s[-1] for s in series[False]) / len(SEEDS)
+    print(f"\nmean final best power: elitism={final_with:.3f}W  "
+          f"no-elitism={final_without:.3f}W")
+
+    # With elitism every seed's best-fitness series is monotone up to
+    # measurement noise (bare-metal power noise is ~0.2%).
+    for s in series[True]:
+        assert is_monotonic(s, tolerance=0.01 * s[-1])
+
+    # And elitism does not hurt the final result.
+    assert final_with >= final_without * 0.98

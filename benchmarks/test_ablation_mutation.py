@@ -1,0 +1,61 @@
+"""Ablation: mutation rate.
+
+Paper (Section III.A): "mutation rate should be low enough so that only
+one or at-most two loop instructions are mutated at a time.  Higher
+mutation rate might impede the GA convergence."  We compare the paper's
+~1-mutation rate against an aggressive rate on the same search.
+"""
+
+from dataclasses import replace
+
+from repro.core.config import GAParameters, RunConfig
+from repro.core.engine import GeneticEngine
+from repro.cpu import SimulatedMachine, SimulatedTarget
+from repro.fitness import DefaultFitness
+from repro.isa import arm_library, arm_template
+from repro.measurement import PowerMeasurement
+
+from conftest import run_once
+
+SEEDS = (3, 4, 5)
+
+
+def _search(rate, seed, scale):
+    machine = SimulatedMachine("cortex_a15", seed=seed)
+    target = SimulatedTarget(machine)
+    target.connect()
+    ga = GAParameters(population_size=scale.population_size,
+                      individual_size=scale.individual_size,
+                      mutation_rate=rate,
+                      generations=scale.generations, seed=seed)
+    config = RunConfig(ga=ga, library=arm_library(),
+                       template_text=arm_template())
+    engine = GeneticEngine(config,
+                           PowerMeasurement(target, {"samples": "4"}),
+                           DefaultFitness())
+    return engine.run().best_fitness_series()[-1]
+
+
+def _ablation(scale):
+    # The convergence penalty of a high rate shows once the search has
+    # had time to refine, so this ablation runs longer than the others.
+    scale = replace(scale, generations=35)
+    low_rate = scale.effective_mutation_rate()      # ~1 mutation/indiv
+    high_rate = 0.50                                # ~25 mutations/indiv
+    return {
+        "low": [_search(low_rate, s, scale) for s in SEEDS],
+        "high": [_search(high_rate, s, scale) for s in SEEDS],
+    }
+
+
+def test_ablation_mutation_rate(benchmark, ablation_scale):
+    finals = run_once(benchmark, _ablation, ablation_scale)
+
+    mean_low = sum(finals["low"]) / len(finals["low"])
+    mean_high = sum(finals["high"]) / len(finals["high"])
+    print(f"\nfinal best power (W, single core): "
+          f"~1 mutation/indiv={mean_low:.3f}  "
+          f"~25 mutations/indiv={mean_high:.3f}")
+
+    # The paper's recommended rate converges higher.
+    assert mean_low > mean_high

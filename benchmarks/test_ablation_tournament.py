@@ -1,0 +1,49 @@
+"""Ablation: tournament size (Table I default: 5).
+
+Tournament size 1 removes selection pressure entirely (uniform random
+parents); the default of 5 must search distinctly better.
+"""
+
+from repro.core.config import GAParameters, RunConfig
+from repro.core.engine import GeneticEngine
+from repro.cpu import SimulatedMachine, SimulatedTarget
+from repro.fitness import DefaultFitness
+from repro.isa import arm_library, arm_template
+from repro.measurement import PowerMeasurement
+
+from conftest import run_once
+
+SEEDS = (3, 4, 5)
+
+
+def _final(tournament_size, seed, scale):
+    machine = SimulatedMachine("cortex_a15", seed=seed)
+    target = SimulatedTarget(machine)
+    target.connect()
+    ga = GAParameters(population_size=scale.population_size,
+                      individual_size=scale.individual_size,
+                      mutation_rate=scale.effective_mutation_rate(),
+                      tournament_size=tournament_size,
+                      generations=scale.generations, seed=seed)
+    config = RunConfig(ga=ga, library=arm_library(),
+                       template_text=arm_template())
+    engine = GeneticEngine(config,
+                           PowerMeasurement(target, {"samples": "4"}),
+                           DefaultFitness())
+    return engine.run().best_fitness_series()[-1]
+
+
+def _ablation(scale):
+    return {size: [_final(size, s, scale) for s in SEEDS]
+            for size in (1, 5)}
+
+
+def test_ablation_tournament_size(benchmark, ablation_scale):
+    finals = run_once(benchmark, _ablation, ablation_scale)
+
+    mean = {k: sum(v) / len(v) for k, v in finals.items()}
+    print(f"\nmean final best power: tournament=1 {mean[1]:.3f} W, "
+          f"tournament=5 {mean[5]:.3f} W")
+
+    # Selection pressure matters.
+    assert mean[5] > mean[1]

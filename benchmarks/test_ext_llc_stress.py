@@ -1,0 +1,46 @@
+"""Extension: LLC/DRAM stress (paper Section VII).
+
+"with GeST is possible to stress LLC or DRAM by instructing the
+framework to optimize towards cache-misses and providing in the input
+file load/store instruction definitions with various strides, base
+memory registers and various min-max immediate values.  We are
+currently investigating such extensions."
+
+This benchmark runs that investigation on the simulated server: the GA
+is given strided load/store definitions plus a base-advance instruction
+and optimises LLC misses per kilo-instruction.  The evolved virus must
+out-miss both a cache-resident loop and a hand-written streaming
+walker.
+"""
+
+from repro.experiments import GAScale, llc_stress_experiment
+
+from conftest import run_once
+
+
+def test_ext_llc_dram_stress(benchmark):
+    result = run_once(benchmark, llc_stress_experiment,
+                      scale=GAScale(population_size=20, generations=25,
+                                    individual_size=30))
+
+    print("\n" + result.render())
+
+    misses = result.llc_misses_per_kinstr()
+
+    # The GA virus leads, the L1-resident loop barely misses at all.
+    assert misses["llcVirus"] == max(misses.values())
+    assert misses["llcVirus"] > misses["streaming"] * 1.5
+    assert misses["l1_resident"] < 5.0
+    assert misses["llcVirus"] > 100.0
+
+    # The virus discovered base-advancing (striding) — the paper's
+    # "various strides" knob.
+    advances = sum(1 for i in result.virus.instructions
+                   if i.name == "ADVANCE")
+    assert advances >= 1
+
+    # DRAM traffic costs energy: the virus burns more chip power than
+    # the resident loop despite lower IPC.
+    power = result.avg_power_w()
+    assert power["llcVirus"] > power["l1_resident"]
+    assert result.runs["llcVirus"].ipc < result.runs["l1_resident"].ipc

@@ -1,0 +1,65 @@
+"""Extension: frequency/voltage shmoo characterisation.
+
+Generalises Figure 9's V_MIN methodology across clock frequencies, the
+characterisation GeST-derived guardband studies run (paper ref. [25]).
+Shapes asserted: V_MIN rises with clock for every workload; the dI/dt
+virus stays the strictest stability test at every frequency point; at
+a 15% overclock the virus's V_MIN crosses the nominal supply — the
+overclocked part needs a voltage bump to survive its own worst case.
+"""
+
+from repro.analysis import frequency_shmoo, shmoo_table
+from repro.experiments import didt_scale, evolve_virus, make_machine
+from repro.workloads import workload
+
+from conftest import run_once
+
+FRACTIONS = (0.85, 1.0, 1.15)
+
+
+def _shmoo():
+    machine = make_machine("athlon_x4", seed=700)
+    virus = evolve_virus("athlon_x4", "didt", seed=31,
+                         scale=didt_scale(machine))
+    sources = {
+        "didtVirus": virus.source,
+        "prime95": workload("prime95", "x86").source,
+        "coremark": workload("coremark", "x86").source,
+    }
+    return machine, [frequency_shmoo(machine, src, name,
+                                     frequency_fractions=FRACTIONS)
+                     for name, src in sources.items()]
+
+
+def test_ext_frequency_shmoo(benchmark):
+    machine, results = run_once(benchmark, _shmoo)
+
+    print("\n" + shmoo_table(results))
+
+    by_name = {r.workload: r for r in results}
+    frequencies = results[0].frequencies_hz
+
+    # Higher clock never tolerates a lower supply.
+    for r in results:
+        assert r.is_monotonic_in_frequency()
+        # And the slope is real: the overclocked point needs visibly
+        # more voltage than the underclocked one.
+        assert r.vmin_at(frequencies[-1]) > r.vmin_at(frequencies[0]) \
+            + 0.05
+
+    # The dI/dt virus is the strictest stability test at EVERY
+    # frequency, not just the nominal point of Figure 9.
+    for f in frequencies:
+        assert by_name["didtVirus"].vmin_at(f) > \
+            by_name["prime95"].vmin_at(f)
+        assert by_name["prime95"].vmin_at(f) > \
+            by_name["coremark"].vmin_at(f)
+
+    # Overclocking verdict: at +15% clock the virus's V_MIN exceeds the
+    # stock supply — the shmoo says this part cannot be overclocked at
+    # nominal voltage.
+    nominal_supply = machine.arch.vdd_nominal
+    assert by_name["didtVirus"].vmin_at(frequencies[-1]) > nominal_supply
+    # While at the stock clock everything fits under nominal.
+    assert by_name["didtVirus"].vmin_at(
+        machine.nominal_frequency_hz) <= nominal_supply

@@ -1,0 +1,31 @@
+"""Figure 6: Cortex-A7 power results.
+
+Paper shape: the native GA virus causes the highest power; the
+Cortex-A15 virus is not a good Cortex-A7 stress test (it lands at or
+below the conventional workloads — "Different CPU designs require
+different stress-tests").
+"""
+
+from repro.experiments import figure6
+
+from conftest import run_once
+
+
+def test_fig6_a7_power(benchmark, power_scale):
+    result = run_once(benchmark, figure6, scale=power_scale)
+
+    print("\n" + result.render())
+
+    normalized = result.normalized
+    native = result.native_virus_label        # GA_virus_cortex_a7
+    cross = result.cross_virus_label          # GA_virus_cortex_a15
+
+    assert normalized[native] == max(normalized.values())
+    assert result.virus_margin_over_manual() > 1.08
+    for name in ("coremark", "imdct", "fdct"):
+        assert normalized[native] > normalized[name] * 1.15
+
+    # The A15 virus transfers even worse in this direction: the paper's
+    # Figure 6 shows it below every conventional workload.
+    assert normalized[cross] < normalized["a7_manual_stress"]
+    assert normalized[cross] < 1.05

@@ -1,0 +1,38 @@
+"""Figure 9: V_MIN results on the AMD Athlon.
+
+Paper shape: the dI/dt virus causes instability at a higher voltage
+than every other workload — it is the strictest stability test, above
+both the commonly used AMD stability test and Prime95.
+"""
+
+from repro.analysis.vmin import VMIN_STEP_V
+from repro.experiments import figure9
+
+from conftest import run_once
+
+
+def test_fig9_vmin(benchmark):
+    result = run_once(benchmark, figure9)
+
+    print("\n" + result.render())
+
+    vmin = result.vmin_v
+    virus = result.virus.name
+
+    # The dI/dt virus is the strictest stability test.
+    assert result.virus_is_strictest()
+    assert vmin[virus] > vmin["prime95"] + 2 * VMIN_STEP_V
+    assert vmin[virus] > vmin["amd_stability_test"] + 2 * VMIN_STEP_V
+
+    # Every characterised workload still has a positive guardband at
+    # nominal supply (nothing crashes out of the box).
+    for r in result.results.values():
+        assert r.guardband_v >= 0
+        assert r.vmin_v <= r.nominal_v
+
+    # The sweep respects the paper's 12.5 mV step: every recorded
+    # setting is nominal minus an integer number of steps.
+    for r in result.results.values():
+        for supply, _ in r.sweep:
+            steps = (r.nominal_v - supply) / VMIN_STEP_V
+            assert abs(steps - round(steps)) < 1e-6

@@ -1,0 +1,28 @@
+"""Section IV's runtime claim: 50 individuals x ~100 generations at
+~5 s per measurement ≈ 7 hours of GA wall time."""
+
+from repro.experiments import estimate_runtime
+
+from conftest import run_once
+
+
+def test_runtime_model(benchmark):
+    estimate = run_once(benchmark, estimate_runtime)
+
+    print(f"\nGA runtime model (paper Section IV): "
+          f"{estimate.population_size} individuals x "
+          f"{estimate.generations} generations x "
+          f"{estimate.measurement_s:.0f}s "
+          f"-> {estimate.total_hours:.1f} hours")
+
+    assert estimate.measurements == 5000
+    assert 6.5 < estimate.total_hours < 8.0
+
+    # Sensitivity: the three factors the paper names are exactly the
+    # model's degrees of freedom.
+    assert estimate_runtime(population_size=25).total_s == \
+        estimate.total_s / 2
+    assert estimate_runtime(generations=50).total_s == \
+        estimate.total_s / 2
+    half_measure = estimate_runtime(measurement_s=2.5)
+    assert half_measure.total_s < estimate.total_s

@@ -1,0 +1,49 @@
+"""Table I: the GA parameter defaults.
+
+Regenerates the parameter table and checks the framework's defaults
+match the paper's published values.
+"""
+
+from repro.core.config import GAParameters
+from repro.experiments import GAScale
+
+from conftest import run_once
+
+
+def _table1():
+    ga = GAParameters()
+    rows = [
+        ("population_size", ga.population_size),
+        ("individual_size (loop instructions)", ga.individual_size),
+        ("mutation_rate", ga.mutation_rate),
+        ("crossover_operator", ga.crossover_operator),
+        ("elitism", ga.elitism),
+        ("parent_selection_method", ga.parent_selection_method),
+        ("tournament_size", ga.tournament_size),
+    ]
+    return ga, rows
+
+
+def test_table1_ga_parameters(benchmark):
+    ga, rows = run_once(benchmark, _table1)
+
+    print("\nGA parameters (paper Table I)")
+    for name, value in rows:
+        print(f"  {name:40s} {value}")
+
+    # Paper values: population 50, loop 15-50 instructions, mutation
+    # 0.02-0.08, one-point crossover, elitism, tournament of 5.
+    assert ga.population_size == 50
+    assert 15 <= ga.individual_size <= 50
+    assert 0.02 <= ga.mutation_rate <= 0.08
+    assert ga.crossover_operator == "one_point"
+    assert ga.elitism is True
+    assert ga.parent_selection_method == "tournament"
+    assert ga.tournament_size == 5
+
+    # The mutation-rate rule of thumb: about one mutated instruction
+    # per individual at every loop size the paper uses.
+    for size in (15, 50):
+        scale = GAScale(individual_size=size)
+        expected = size * scale.effective_mutation_rate()
+        assert 0.9 <= expected <= 2.1

@@ -1,0 +1,68 @@
+"""Table II: experimental details — the four platforms.
+
+Regenerates the platform table from the presets and checks each row's
+facts: CPU, core count, execution environment, the stress-test type
+developed on it and the measurement instrument modelled for it.
+"""
+
+from repro.cpu.microarch import PRESETS
+from repro.experiments.common import MEASUREMENTS, make_machine
+
+from conftest import run_once
+
+#: The paper's Table II, as data.
+TABLE2 = [
+    # preset        cores  environment   stress-test developed
+    ("cortex_a15",  2,     "bare_metal", ("power",),
+     "ARM energy probe -> PowerMeasurement"),
+    ("cortex_a7",   3,     "bare_metal", ("power",),
+     "ARM energy probe -> PowerMeasurement"),
+    ("xgene2",      8,     "os",         ("temperature", "ipc"),
+     "i2c temperature sensor + perf -> Temperature/IPCMeasurement"),
+    ("athlon_x4",   4,     "os",         ("didt",),
+     "external oscilloscope -> OscilloscopeMeasurement"),
+]
+
+
+def _collect():
+    rows = []
+    for preset, cores, environment, metrics, instrument in TABLE2:
+        machine = make_machine(preset)
+        rows.append({
+            "preset": preset,
+            "arch": machine.arch,
+            "environment": machine.environment,
+            "expected_cores": cores,
+            "expected_environment": environment,
+            "metrics": metrics,
+            "instrument": instrument,
+        })
+    return rows
+
+
+def test_table2_experimental_details(benchmark):
+    rows = run_once(benchmark, _collect)
+
+    print("\nExperimental details (paper Table II):")
+    print(f"{'CPU':12s} {'cores':>5s}  {'environment':11s}  "
+          f"{'stress-test':18s}  instrument")
+    for row in rows:
+        print(f"{row['preset']:12s} {row['arch'].core_count:5d}  "
+              f"{row['environment']:11s}  "
+              f"{'/'.join(row['metrics']):18s}  {row['instrument']}")
+
+    for row in rows:
+        arch = row["arch"]
+        # Core counts straight from Table II.
+        assert arch.core_count == row["expected_cores"]
+        # Bare-metal ARM dev boards vs OS server/desktop.
+        assert row["environment"] == row["expected_environment"]
+        # Every stress-test type developed on the platform has a
+        # measurement class registered.
+        for metric in row["metrics"]:
+            assert metric in MEASUREMENTS
+
+    # ISA split: the AMD desktop is the x86 platform, the rest ARM.
+    assert PRESETS["athlon_x4"].isa == "x86"
+    assert all(PRESETS[p].isa == "arm"
+               for p in ("cortex_a15", "cortex_a7", "xgene2"))

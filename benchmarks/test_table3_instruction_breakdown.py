@@ -1,0 +1,41 @@
+"""Table III: instruction breakdown of the Cortex-A15 and Cortex-A7
+power viruses.
+
+Paper shape: both viruses are 50-instruction loops with a prominent
+float/SIMD component; the Cortex-A7 virus needs many more branch
+instructions than the Cortex-A15 virus (10 vs 1 in the paper), and the
+two mixes differ — different microarchitectures demand different
+stress-tests.
+"""
+
+from repro.experiments import table3
+
+from conftest import run_once
+
+
+def test_table3_instruction_breakdown(benchmark, power_scale):
+    result = run_once(benchmark, table3, scale=power_scale)
+
+    print("\n" + result.render())
+
+    a15, a7 = result.a15_mix, result.a7_mix
+
+    # Both loops are the configured 50 instructions.
+    for mix in (a15, a7):
+        assert sum(mix.get(c, 0) for c in
+                   ("ShortInt", "LongInt", "Float/SIMD", "Mem",
+                    "Branch", "Nop")) == 50
+
+    # Float/SIMD prominent in both (paper: "floating point/SIMD
+    # instructions are dominant").
+    assert a15["Float/SIMD"] >= 15
+    assert a7["Float/SIMD"] >= 8
+
+    # The A7 virus leans on branches much harder than the A15 virus
+    # (paper: 10 vs 1).
+    assert a7["Branch"] > a15["Branch"]
+    assert a7["Branch"] >= 4
+    assert a15["Branch"] <= 4
+
+    # The mixes genuinely differ between microarchitectures.
+    assert a15 != a7

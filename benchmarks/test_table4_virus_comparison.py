@@ -1,0 +1,54 @@
+"""Table IV: power virus vs simple power virus vs IPC virus.
+
+Paper shape: the IPC virus has (at least as) high IPC but lower power
+and temperature than the power virus; the Equation-1 simple virus
+reaches (near) the power virus's temperature while using markedly fewer
+unique instructions (13 vs 21 in the paper); the power virus uses more
+long-latency and memory instructions than the IPC virus.
+
+Documented deviation (see EXPERIMENTS.md): on the simulated X-Gene2
+the IPC gap between the two viruses is small (~1% vs the paper's 12%)
+because the model's perfect renaming lets cheap fillers keep issue
+slots full; the power and temperature gaps fully reproduce.
+"""
+
+from repro.analysis.instruction_mix import mix_of_individual
+from repro.experiments import table4
+
+from conftest import run_once
+
+
+def test_table4_virus_comparison(benchmark):
+    result = run_once(benchmark, table4)
+
+    print("\n" + result.render())
+
+    rel_ipc = result.relative_ipc
+    rel_power = result.relative_power
+    rel_temp = result.relative_temperature
+    uniques = result.unique_instructions
+
+    # IPC virus: highest IPC, clearly lower power and temperature.
+    assert rel_ipc["IPCvirus"] >= rel_ipc["powerVirus"] * 0.995
+    assert rel_power["IPCvirus"] < 0.97
+    assert rel_temp["IPCvirus"] < 1.0
+
+    # "the highest IPC does not automatically convert to highest power
+    # consumption and temperature"
+    assert rel_power["powerVirus"] > rel_power["IPCvirus"]
+    assert rel_temp["powerVirus"] > rel_temp["IPCvirus"]
+
+    # Simple virus: far fewer unique opcodes at near-power-virus heat.
+    assert uniques["powerVirusSimple"] < uniques["powerVirus"]
+    assert uniques["powerVirusSimple"] <= 16
+    assert rel_temp["powerVirusSimple"] > 0.95
+    assert rel_power["powerVirusSimple"] > 0.90
+
+    # Mix shape: the power virus engages memory heavily and keeps some
+    # long-latency instructions; the IPC virus carries fewer
+    # long-latency ops.
+    power_mix = mix_of_individual(result.power_virus.individual)
+    ipc_mix = mix_of_individual(result.ipc_virus.individual)
+    assert power_mix["Mem"] >= 8
+    assert power_mix["LongInt"] >= 1
+    assert power_mix["LongInt"] >= ipc_mix["LongInt"] - 2

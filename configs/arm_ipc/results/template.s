@@ -1,0 +1,35 @@
+// GeST-repro stock ARM-like template
+mov x0, #1000000
+mov x10, #4096
+mov x11, #8192
+mov x1, #0xaaaaaaaaaaaaaaaa
+mov x2, #0x5555555555555555
+mov x3, #0xaaaaaaaaaaaaaaaa
+mov x4, #0x5555555555555555
+mov x5, #0xaaaaaaaaaaaaaaaa
+mov x6, #0x5555555555555555
+mov x7, #0xaaaaaaaaaaaaaaaa
+mov x8, #0x5555555555555555
+mov x9, #0xaaaaaaaaaaaaaaaa
+fmov v0, #0x5555555555555555
+fmov v1, #0xaaaaaaaaaaaaaaaa
+fmov v2, #0x5555555555555555
+fmov v3, #0xaaaaaaaaaaaaaaaa
+fmov v4, #0x5555555555555555
+fmov v5, #0xaaaaaaaaaaaaaaaa
+fmov v6, #0x5555555555555555
+fmov v7, #0xaaaaaaaaaaaaaaaa
+fmov v8, #0x5555555555555555
+fmov v9, #0xaaaaaaaaaaaaaaaa
+fmov v10, #0x5555555555555555
+fmov v11, #0xaaaaaaaaaaaaaaaa
+fmov v12, #0x5555555555555555
+fmov v13, #0xaaaaaaaaaaaaaaaa
+fmov v14, #0x5555555555555555
+fmov v15, #0xaaaaaaaaaaaaaaaa
+.loop
+loop_begin:
+#loop_code
+subs x0, x0, #1
+bne loop_begin
+.endloop

@@ -1,0 +1,35 @@
+// GeST-repro stock x86-like template
+mov r15, 1000000
+mov rbp, 4096
+mov r8, 8192
+mov rax, 0x5555555555555555
+mov rbx, 0xaaaaaaaaaaaaaaaa
+mov rcx, 0x5555555555555555
+mov rdx, 0xaaaaaaaaaaaaaaaa
+mov rsi, 0x5555555555555555
+mov rdi, 0xaaaaaaaaaaaaaaaa
+mov r9, 0x5555555555555555
+mov r10, 0xaaaaaaaaaaaaaaaa
+mov r11, 0x5555555555555555
+movaps xmm0, 0x5555555555555555
+movaps xmm1, 0xaaaaaaaaaaaaaaaa
+movaps xmm2, 0x5555555555555555
+movaps xmm3, 0xaaaaaaaaaaaaaaaa
+movaps xmm4, 0x5555555555555555
+movaps xmm5, 0xaaaaaaaaaaaaaaaa
+movaps xmm6, 0x5555555555555555
+movaps xmm7, 0xaaaaaaaaaaaaaaaa
+movaps xmm8, 0x5555555555555555
+movaps xmm9, 0xaaaaaaaaaaaaaaaa
+movaps xmm10, 0x5555555555555555
+movaps xmm11, 0xaaaaaaaaaaaaaaaa
+movaps xmm12, 0x5555555555555555
+movaps xmm13, 0xaaaaaaaaaaaaaaaa
+movaps xmm14, 0x5555555555555555
+movaps xmm15, 0xaaaaaaaaaaaaaaaa
+.loop
+loop_begin:
+#loop_code
+dec r15
+jnz loop_begin
+.endloop

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Instruction-level vs abstract-workload GA (paper Section VII).
+
+The paper's related-work argument in one runnable script: both
+framework styles search for a Cortex-A15 power virus with the same
+measurement, fitness and evaluation budget.
+
+* The **abstract model** (MAMPO/SYMPO family) evolves a parameter
+  vector — instruction-mix weights, register-dependency distance, FMA
+  fraction, memory stride — and *generates* code stochastically from
+  it.  Small design space, fast convergence, but opcodes, operand
+  values and instruction order stay out of the GA's control.
+* The **instruction-level** search (GeST's choice) evolves the source
+  code directly.
+
+Run with::
+
+    python examples/abstract_vs_instruction_level.py
+"""
+
+from repro.abstractmodel import AbstractEngine
+from repro.cpu import SimulatedMachine, SimulatedTarget
+from repro.experiments import GAScale, evolve_virus
+from repro.fitness import DefaultFitness
+from repro.isa import arm_template
+from repro.measurement import PowerMeasurement
+
+SCALE = GAScale(population_size=16, generations=18)
+
+
+def main() -> None:
+    print(f"budget: {SCALE.population_size} x {SCALE.generations} "
+          "evaluations for each framework style\n")
+
+    print("[instruction-level] evolving source code directly...")
+    instruction_level = evolve_virus("cortex_a15", "power", seed=61,
+                                     scale=SCALE, use_cache=False)
+    print(f"  best: {instruction_level.fitness:.3f} W (single core)")
+    print(f"  mix:  {instruction_level.individual.instruction_mix()}")
+
+    print("\n[abstract model] evolving a workload-parameter vector...")
+    machine = SimulatedMachine("cortex_a15", seed=61)
+    target = SimulatedTarget(machine)
+    target.connect()
+    abstract = AbstractEngine(
+        PowerMeasurement(target, {"samples": str(SCALE.samples)}),
+        DefaultFitness(), arm_template(),
+        loop_size=SCALE.individual_size,
+        population_size=SCALE.population_size,
+        generations=SCALE.generations, seed=61)
+    best = abstract.run()
+    print(f"  best: {best.fitness:.3f} W (single core)")
+    print(f"  winning profile: {best.profile.describe()}")
+
+    series = abstract.best_fitness_series()
+    print(f"\nabstract convergence: first generation already at "
+          f"{series[0] / series[-1] * 100:.0f}% of its final value "
+          "(the reduced design space the paper concedes as its "
+          "advantage)")
+
+    advantage = instruction_level.fitness / best.fitness
+    print(f"\ninstruction-level advantage at equal budget: "
+          f"x{advantage:.3f}")
+    print("the paper's Section VII argument: opcodes, operand values "
+          "and instruction order\nare out of the abstract GA's "
+          "control — and they are exactly where the last\nfew percent "
+          "of stress live.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Voltage-noise virus generation and V_MIN characterisation
+(paper Section VI) on the simulated AMD Athlon X4.
+
+Demonstrates:
+
+* the dI/dt loop-length rule of thumb
+  (``IPC x f_clk / f_resonance``, with IPC = max theoretical / 2);
+* the oscilloscope measurement plugin (peak-to-peak die voltage);
+* comparing the evolved virus against Prime95 and the AMD stability
+  test proxies;
+* sweeping V_MIN in 12.5 mV steps to show the virus is the strictest
+  stability test.
+
+Run with::
+
+    python examples/didt_stability_test.py
+"""
+
+from repro.analysis.vmin import characterize_vmin, vmin_table
+from repro.core import GAParameters, GeneticEngine, RunConfig
+from repro.cpu import SimulatedMachine, SimulatedTarget
+from repro.fitness import DefaultFitness
+from repro.isa import x86_library, x86_template
+from repro.measurement import OscilloscopeMeasurement
+from repro.workloads import workload
+
+
+def main() -> None:
+    machine = SimulatedMachine("athlon_x4", environment="os", seed=31)
+
+    # The rule of thumb: one loop iteration per PDN resonance period.
+    f_res = machine.pdn.resonance_hz
+    loop_length = machine.pdn.resonant_loop_length(
+        machine.arch.max_ipc / 2)
+    print(f"PDN resonance: {f_res / 1e6:.1f} MHz "
+          f"(Q = {machine.arch.pdn.q_factor:.1f}) -> "
+          f"loop length {loop_length} instructions")
+
+    target = SimulatedTarget(machine, hostname="athlon-bench")
+    target.connect()
+    ga = GAParameters(population_size=16, individual_size=loop_length,
+                      mutation_rate=max(0.02, round(1.0 / loop_length, 4)),
+                      generations=15, seed=31)
+    config = RunConfig(ga=ga, library=x86_library(),
+                       template_text=x86_template())
+    engine = GeneticEngine(
+        config, OscilloscopeMeasurement(target, {"samples": "3"}),
+        DefaultFitness())
+    history = engine.run()
+    virus_source = engine.render_source(history.best_individual)
+    print(f"\nevolved dI/dt virus: "
+          f"{history.best_individual.fitness * 1000:.1f} mV pk-pk "
+          f"(single core)")
+
+    # Figure 8 style comparison, one instance per core.
+    contenders = {"didt_virus": virus_source}
+    for name in ("prime95", "amd_stability_test", "linpack", "coremark"):
+        contenders[name] = workload(name, "x86").source
+
+    print("\nmax-min voltage noise, 4 cores (Figure 8 style):")
+    programs = {}
+    for name, source in contenders.items():
+        programs[name] = machine.compile(source, name=name)
+        run = machine.run(programs[name], cores=4)
+        print(f"  {name:20s} {run.peak_to_peak_v * 1000:7.1f} mV   "
+              f"(avg power {run.avg_power_w:6.1f} W)")
+
+    # Figure 9 style V_MIN sweep: 12.5mV steps at the nominal 3.1 GHz.
+    print("\nV_MIN characterisation (Figure 9 style):")
+    results = [characterize_vmin(machine, program, cores=4, name=name)
+               for name, program in programs.items()]
+    print(vmin_table(results))
+    strictest = max(results, key=lambda r: r.vmin_v)
+    print(f"\nstrictest stability test: {strictest.workload} "
+          f"(V_MIN = {strictest.vmin_v:.4f} V)")
+
+
+if __name__ == "__main__":
+    main()

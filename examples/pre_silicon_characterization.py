@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Pre-silicon stress-test generation (paper Section VIII).
+
+"While this paper demonstrates GeST on real hardware, there is no
+fundamental restriction that prevents the framework from being used for
+pre-silicon stress-test generation in conjunction with accurate power,
+temperature, performance and voltage-noise models/simulators."
+
+This example plays design-house: a *hypothetical* next-generation core
+is described as a custom :class:`MicroArch` (wider issue, faster clock,
+beefier SIMD than the Cortex-A15 it derives from), and the framework
+characterises it before "tape-out":
+
+1. evolve a power virus against the model → worst-case power estimate;
+2. evolve a dI/dt virus tuned to the planned package's PDN resonance;
+3. sweep a frequency/voltage shmoo with both viruses to size the
+   voltage guardband the part will need.
+
+Run with::
+
+    python examples/pre_silicon_characterization.py
+"""
+
+from repro.analysis import (current_spectrum, frequency_shmoo,
+                            resonance_band_ratio, shmoo_table)
+from repro.core import GAParameters, GeneticEngine, RunConfig
+from repro.cpu import PDNParams, SimulatedMachine, SimulatedTarget
+from repro.cpu.microarch import microarch_for
+from repro.fitness import DefaultFitness
+from repro.isa import arm_library, arm_template
+from repro.measurement import OscilloscopeMeasurement, PowerMeasurement
+
+
+def next_gen_core():
+    """The hypothetical design: an A15 derivative, 4-wide at 1.8 GHz
+    with a hotter SIMD unit and a board whose PDN resonates at ~90 MHz."""
+    a15 = microarch_for("cortex_a15")
+    epi = dict(a15.epi_pj)
+    epi.update(vadd=210.0, vmul=230.0, fma=280.0)   # wider vectors
+    return a15.with_overrides(
+        name="nextgen_a1x",
+        frequency_hz=1.8e9,
+        issue_width=4,
+        window_size=56,
+        ports={"int": 2, "fp": 2, "mem": 2, "br": 1},
+        epi_pj=epi,
+        static_power_w=0.45,
+        vdd_nominal=0.95,
+        max_ipc=4.0,
+        pdn=PDNParams(r_ohm=2.2e-3, l_h=8e-12, c_f=3.9e-7),
+    )
+
+
+def evolve(machine, measurement_cls, individual_size, seed, generations=14):
+    target = SimulatedTarget(machine, hostname="rtl-power-model")
+    target.connect()
+    ga = GAParameters(population_size=14, individual_size=individual_size,
+                      mutation_rate=max(0.02, round(1.0 / individual_size, 4)),
+                      generations=generations, seed=seed)
+    config = RunConfig(ga=ga, library=arm_library(),
+                       template_text=arm_template())
+    engine = GeneticEngine(config,
+                           measurement_cls(target, {"samples": "3"}),
+                           DefaultFitness())
+    history = engine.run()
+    return engine, history.best_individual
+
+
+def main() -> None:
+    arch = next_gen_core()
+    machine = SimulatedMachine(arch, seed=17)
+    print(f"pre-silicon model: {arch.name}, "
+          f"{arch.issue_width}-wide OOO at "
+          f"{arch.frequency_hz / 1e9:.1f} GHz, "
+          f"PDN resonance {machine.pdn.resonance_hz / 1e6:.0f} MHz")
+
+    # 1. Worst-case power for the thermal/power-delivery budget.
+    print("\n[1] evolving the power virus against the model...")
+    power_engine, power_virus = evolve(machine, PowerMeasurement, 50,
+                                       seed=17)
+    run = machine.run_source(power_engine.render_source(power_virus),
+                             cores=arch.core_count)
+    print(f"    worst-case chip power estimate: {run.avg_power_w:.2f} W "
+          f"at IPC {run.ipc:.2f}")
+    print(f"    virus mix: {power_virus.instruction_mix()}")
+
+    # 2. dI/dt virus tuned to the planned package.
+    loop_length = machine.pdn.resonant_loop_length(arch.max_ipc / 2)
+    print(f"\n[2] evolving the dI/dt virus "
+          f"(rule-of-thumb loop: {loop_length} instructions)...")
+    didt_engine, didt_virus = evolve(machine, OscilloscopeMeasurement,
+                                     loop_length, seed=18,
+                                     generations=22)
+    didt_source = didt_engine.render_source(didt_virus)
+    program = machine.compile(didt_source, name="didt")
+    trace = machine.pipeline.execute(program, max_cycles=machine.sim_cycles)
+    spectrum = current_spectrum(
+        machine.power.current_trace_a(program, trace), arch.frequency_hz)
+    band, fraction = resonance_band_ratio(spectrum,
+                                          machine.pdn.resonance_hz)
+    noise = machine.run(program, cores=arch.core_count)
+    print(f"    worst-case noise: {noise.peak_to_peak_v * 1000:.1f} mV "
+          f"pk-pk; {fraction * 100:.0f}% of AC current energy at the "
+          "resonance")
+
+    # 3. Guardband sizing via shmoo.
+    print("\n[3] frequency/voltage shmoo with both viruses:")
+    rows = [
+        frequency_shmoo(machine, didt_source, "didtVirus",
+                        frequency_fractions=(0.9, 1.0, 1.1)),
+        frequency_shmoo(machine,
+                        power_engine.render_source(power_virus),
+                        "powerVirus", frequency_fractions=(0.9, 1.0, 1.1)),
+    ]
+    print(shmoo_table(rows))
+    worst = rows[0].vmin_at(machine.nominal_frequency_hz)
+    print(f"\n    recommended minimum operating voltage at "
+          f"{arch.frequency_hz / 1e9:.1f} GHz: {worst:.3f} V "
+          f"({(arch.vdd_nominal - worst) * 1000:.0f} mV guardband under "
+          f"the {arch.vdd_nominal:.2f} V nominal)")
+
+
+if __name__ == "__main__":
+    main()

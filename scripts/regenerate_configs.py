@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Regenerate the shipped configs/ bundles from the stock catalogs."""
+
+from repro.isa import write_stock_config
+
+COMBOS = [
+    ("arm_power", "arm", "power"),
+    ("arm_temperature", "arm", "temperature"),
+    ("arm_ipc", "arm", "ipc"),
+    ("x86_didt", "x86", "didt"),
+]
+
+if __name__ == "__main__":
+    for name, isa, metric in COMBOS:
+        path = write_stock_config(f"configs/{name}", isa, metric,
+                                  population_size=20, generations=15)
+        print(f"wrote {path}")

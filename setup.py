@@ -1,0 +1,16 @@
+"""Setup shim for environments without the `wheel` package (offline).
+
+`pip install -e .` falls back to this via --no-use-pep517; all real
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["gest=repro.cli:main"]},
+)

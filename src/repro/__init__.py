@@ -1,0 +1,41 @@
+"""GeST reproduction: automatic CPU stress-test generation.
+
+Reproduction of Hadjilambrou et al., "GeST: An Automatic Framework For
+Generating CPU Stress-Tests" (ISPASS 2019).  The package combines:
+
+* :mod:`repro.core` — the GA framework (the paper's contribution);
+* :mod:`repro.isa` — SimISA assemblers + instruction catalogs;
+* :mod:`repro.cpu` — simulated platforms (pipeline/power/thermal/PDN)
+  standing in for the paper's hardware (see DESIGN.md);
+* :mod:`repro.measurement` / :mod:`repro.fitness` — the plug-in
+  measurement procedures and fitness functions;
+* :mod:`repro.workloads` — baseline benchmark/stress-test proxies;
+* :mod:`repro.analysis` / :mod:`repro.experiments` — result analysis
+  and one driver per paper table/figure.
+
+Quickstart::
+
+    from repro.experiments import evolve_virus
+    virus = evolve_virus("cortex_a15", "power", seed=7)
+    print(virus.fitness, virus.individual.instruction_mix())
+"""
+
+from .core import (GAParameters, GeneticEngine, Individual,
+                   InstructionLibrary, Population, RunConfig, Template)
+from .cpu import SimulatedMachine, SimulatedTarget, microarch_for
+from .fitness import DefaultFitness, TemperatureSimplicityFitness
+from .measurement import (IPCMeasurement, Measurement,
+                          OscilloscopeMeasurement, PowerMeasurement,
+                          TemperatureMeasurement)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GAParameters", "GeneticEngine", "Individual", "InstructionLibrary",
+    "Population", "RunConfig", "Template",
+    "SimulatedMachine", "SimulatedTarget", "microarch_for",
+    "DefaultFitness", "TemperatureSimplicityFitness",
+    "IPCMeasurement", "Measurement", "OscilloscopeMeasurement",
+    "PowerMeasurement", "TemperatureMeasurement",
+    "__version__",
+]

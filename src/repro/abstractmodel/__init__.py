@@ -1,0 +1,14 @@
+"""Abstract-workload-model GA — the competing framework style of the
+paper's Table V (MAMPO / SYMPO / Joshi et al.), implemented so the
+instruction-level-vs-abstract comparison can be run head to head."""
+
+from .engine import (AbstractEngine, AbstractGenerationStats,
+                     AbstractIndividual)
+from .generator import generate_loop
+from .profile import CATEGORIES, WorkloadProfile
+
+__all__ = [
+    "AbstractEngine", "AbstractGenerationStats", "AbstractIndividual",
+    "generate_loop",
+    "CATEGORIES", "WorkloadProfile",
+]

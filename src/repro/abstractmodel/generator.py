@@ -1,0 +1,95 @@
+"""Stochastic code generator for abstract workload profiles.
+
+"A workload generator stochastically generates the assembly ... code
+based on the values of the abstract model parameters" (paper §VII).
+Given a :class:`~repro.abstractmodel.profile.WorkloadProfile`, emits an
+ARM-flavoured SimISA loop body whose *statistics* follow the profile —
+but whose exact opcodes, operand values and instruction order are out
+of the profile's control, which is precisely the disadvantage the
+paper attributes to this framework family.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List
+
+from ..core.errors import ConfigError
+from .profile import WorkloadProfile
+
+__all__ = ["generate_loop"]
+
+_INT_SHORT_OPS = ("add", "sub", "eor", "orr")
+_INT_LONG_OPS = ("mul", "mla", "sdiv")
+_FLOAT_OPS = ("fadd", "fmul")
+_SIMD_OPS = ("vadd", "vmul", "veor")
+
+#: Register pools matching the stock templates' conventions.
+_INT_POOL = tuple(f"x{i}" for i in range(1, 7))
+_MEM_DST = ("x7", "x8", "x9")
+_VEC_POOL = tuple(f"v{i}" for i in range(16))
+_BASES = ("x10", "x11")
+
+
+def generate_loop(profile: WorkloadProfile, size: int,
+                  rng: Random) -> str:
+    """Emit ``size`` instructions drawn from the profile's mix."""
+    profile.validate()
+    if size < 1:
+        raise ConfigError("loop size must be >= 1")
+
+    mix = profile.normalized_mix()
+    categories = list(mix)
+    weights = [mix[c] for c in categories]
+    dep = profile.dependency_distance
+
+    lines: List[str] = []
+    int_window = min(dep + 1, len(_INT_POOL))
+    vec_window = min(dep + 1, len(_VEC_POOL))
+    for slot in range(size):
+        category = rng.choices(categories, weights=weights)[0]
+        # Destinations rotate over a window of dep+1 registers, so the
+        # value written at slot s is consumed ~dep slots later: a small
+        # distance creates tight RAW chains, a large one exposes dep
+        # parallel chains (high ILP) — the knob's textbook meaning.
+        int_dst = _INT_POOL[slot % int_window]
+        int_src1 = _INT_POOL[(slot - dep) % int_window]
+        int_src2 = _INT_POOL[(slot - max(1, dep // 2)) % int_window]
+        vec_dst = _VEC_POOL[slot % vec_window]
+        vec_src1 = _VEC_POOL[(slot - dep) % vec_window]
+        vec_src2 = _VEC_POOL[(slot - max(1, dep // 2)) % vec_window]
+
+        if category == "int_short":
+            op = _INT_SHORT_OPS[rng.randrange(len(_INT_SHORT_OPS))]
+            lines.append(f"{op} {int_dst}, {int_src1}, {int_src2}")
+        elif category == "int_long":
+            op = _INT_LONG_OPS[rng.randrange(len(_INT_LONG_OPS))]
+            if op == "mla":
+                lines.append(f"mla {int_dst}, {int_src1}, {int_src2}, "
+                             f"{_INT_POOL[slot % len(_INT_POOL)]}")
+            else:
+                lines.append(f"{op} {int_dst}, {int_src1}, {int_src2}")
+        elif category == "float":
+            if rng.random() < profile.fma_fraction:
+                lines.append(f"fmla {vec_dst}, {vec_src1}, {vec_src2}")
+            else:
+                op = _FLOAT_OPS[rng.randrange(len(_FLOAT_OPS))]
+                lines.append(f"{op} {vec_dst}, {vec_src1}, {vec_src2}")
+        elif category == "simd":
+            if rng.random() < profile.fma_fraction:
+                lines.append(f"vfma {vec_dst}, {vec_src1}, {vec_src2}")
+            else:
+                op = _SIMD_OPS[rng.randrange(len(_SIMD_OPS))]
+                lines.append(f"{op} {vec_dst}, {vec_src1}, {vec_src2}")
+        elif category == "mem_load":
+            offset = (slot * profile.mem_stride) % 256
+            dst = _MEM_DST[slot % len(_MEM_DST)]
+            base = _BASES[slot % len(_BASES)]
+            lines.append(f"ldr {dst}, [{base}, #{offset}]")
+        elif category == "mem_store":
+            offset = (slot * profile.mem_stride) % 256
+            base = _BASES[slot % len(_BASES)]
+            lines.append(f"str {int_src1}, [{base}, #{offset}]")
+        else:   # branch
+            lines.append("b 1f\n1:")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Analysis: instruction mixes, convergence, V_MIN, reports."""
+
+from .convergence import (area_under_curve, best_fitness_series,
+                          final_improvement, generations_to_exceed,
+                          is_monotonic)
+from .instruction_mix import (TABLE_CATEGORIES, breakdown_table,
+                              dominant_category, mix_of_individual,
+                              mix_of_program)
+from .diversity import (DiversityStats, diversity_series,
+                        population_diversity)
+from .lineage import Lineage, LineageStep, lineage_of_best, trace_lineage
+from .postprocess import RunStatistics, load_run, run_statistics
+from .related_work import (FrameworkEntry, RELATED_WORK,
+                           related_work_table)
+from .reports import bar_chart, figure_rows, normalize
+from .shmoo import ShmooResult, frequency_shmoo, shmoo_table
+from .spectrum import (CurrentSpectrum, current_spectrum,
+                       resonance_band_ratio)
+from .vmin import VMIN_STEP_V, VminResult, characterize_vmin, vmin_table
+
+__all__ = [
+    "area_under_curve", "best_fitness_series", "final_improvement",
+    "generations_to_exceed", "is_monotonic",
+    "TABLE_CATEGORIES", "breakdown_table", "dominant_category",
+    "mix_of_individual", "mix_of_program",
+    "DiversityStats", "diversity_series", "population_diversity",
+    "Lineage", "LineageStep", "lineage_of_best", "trace_lineage",
+    "RunStatistics", "load_run", "run_statistics",
+    "FrameworkEntry", "RELATED_WORK", "related_work_table",
+    "bar_chart", "figure_rows", "normalize",
+    "ShmooResult", "frequency_shmoo", "shmoo_table",
+    "CurrentSpectrum", "current_spectrum", "resonance_band_ratio",
+    "VMIN_STEP_V", "VminResult", "characterize_vmin", "vmin_table",
+]

@@ -1,0 +1,87 @@
+"""Population-diversity analysis.
+
+GA practitioners track diversity to diagnose premature convergence —
+when selection pressure collapses the gene pool before the optimum is
+found (the failure mode behind the paper's low-mutation-rate and
+tournament-size recommendations).  These metrics operate on the
+recorded per-generation population binaries:
+
+* **unique-genome fraction** — distinct individuals / population size;
+* **per-slot opcode entropy** — Shannon entropy of the opcode
+  distribution at each loop position, averaged (bits);
+* **dominant-opcode concentration** — how much of the whole gene pool
+  the single most common opcode occupies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..core.errors import ConfigError
+from ..core.population import Population
+from .postprocess import load_run
+
+__all__ = ["DiversityStats", "population_diversity", "diversity_series"]
+
+
+@dataclass
+class DiversityStats:
+    """Diversity snapshot of one generation."""
+
+    generation: int
+    population_size: int
+    unique_genomes: int
+    mean_slot_entropy_bits: float
+    dominant_opcode: str
+    dominant_opcode_share: float
+
+    @property
+    def unique_fraction(self) -> float:
+        return self.unique_genomes / self.population_size
+
+
+def population_diversity(population: Population) -> DiversityStats:
+    """Compute the diversity metrics of one generation."""
+    if len(population) == 0:
+        raise ConfigError("population is empty")
+
+    genomes = {ind.genome_key() for ind in population}
+
+    # Per-slot opcode entropy over the common prefix length.
+    length = min(len(ind) for ind in population)
+    entropies: List[float] = []
+    for slot in range(length):
+        counts: Dict[str, int] = {}
+        for ind in population:
+            name = ind.instructions[slot].name
+            counts[name] = counts.get(name, 0) + 1
+        total = sum(counts.values())
+        entropy = -sum((c / total) * math.log2(c / total)
+                       for c in counts.values())
+        entropies.append(entropy)
+    mean_entropy = sum(entropies) / len(entropies) if entropies else 0.0
+
+    pool: Dict[str, int] = {}
+    for ind in population:
+        for instr in ind.instructions:
+            pool[instr.name] = pool.get(instr.name, 0) + 1
+    dominant = max(pool, key=pool.get) if pool else ""
+    share = pool[dominant] / sum(pool.values()) if pool else 0.0
+
+    return DiversityStats(
+        generation=population.number,
+        population_size=len(population),
+        unique_genomes=len(genomes),
+        mean_slot_entropy_bits=mean_entropy,
+        dominant_opcode=dominant,
+        dominant_opcode_share=share)
+
+
+def diversity_series(results_dir: Union[str, Path]
+                     ) -> List[DiversityStats]:
+    """Diversity per generation of a recorded run, in order."""
+    return [population_diversity(population)
+            for population in load_run(results_dir)]

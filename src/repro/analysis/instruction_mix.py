@@ -1,0 +1,105 @@
+"""Instruction-mix breakdowns (paper Tables III and IV).
+
+The paper characterises each virus by its loop-body instruction counts
+in five categories: short-latency integer, long-latency integer,
+float/SIMD (combined), memory and branch.  This module classifies
+individuals (GA genomes, via their declared instruction types) and
+assembled programs (via decoded instruction classes) into those
+categories and renders the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..core.individual import Individual
+from ..isa.model import Program
+
+__all__ = ["TABLE_CATEGORIES", "mix_of_individual", "mix_of_program",
+           "breakdown_table", "dominant_category"]
+
+#: Column order of the paper's tables.
+TABLE_CATEGORIES = ("ShortInt", "LongInt", "Float/SIMD", "Mem", "Branch")
+
+#: GA instruction-type tag → table category.
+_ITYPE_TO_CATEGORY = {
+    "int_short": "ShortInt",
+    "int_long": "LongInt",
+    "float": "Float/SIMD",
+    "simd": "Float/SIMD",
+    "mem": "Mem",
+    "branch": "Branch",
+    "nop": "Nop",
+}
+
+
+def _empty_row() -> Dict[str, int]:
+    row = {category: 0 for category in TABLE_CATEGORIES}
+    row["Nop"] = 0
+    return row
+
+
+def mix_of_individual(individual: Individual) -> Dict[str, int]:
+    """Classify a GA individual's loop by its instruction-type tags."""
+    row = _empty_row()
+    for instr in individual.instructions:
+        category = _ITYPE_TO_CATEGORY.get(instr.itype)
+        if category is None:
+            # User-defined types outside the canonical set are counted
+            # under their own name so nothing silently disappears.
+            row[instr.itype] = row.get(instr.itype, 0) + 1
+        else:
+            row[category] += 1
+    return row
+
+
+def mix_of_program(program: Program) -> Dict[str, int]:
+    """Classify an assembled program's loop by decoded classes."""
+    row = _empty_row()
+    for category, count in program.table_breakdown().items():
+        row[category] = row.get(category, 0) + count
+    return row
+
+
+def dominant_category(mix: Mapping[str, int]) -> str:
+    """The category with the highest count (ties: table column order)."""
+    ordered = list(TABLE_CATEGORIES) + [k for k in mix
+                                        if k not in TABLE_CATEGORIES]
+    best = ordered[0]
+    for category in ordered:
+        if mix.get(category, 0) > mix.get(best, 0):
+            best = category
+    return best
+
+
+def breakdown_table(rows: Sequence[Tuple[str, Mapping[str, int]]],
+                    extra_columns: Sequence[Tuple[str, Mapping[str, object]]]
+                    = ()) -> str:
+    """Render a Table III/IV style ASCII table.
+
+    ``rows`` are (virus name, mix) pairs; ``extra_columns`` optionally
+    append columns like Relative IPC or # of Unique Instructions, each
+    given as (column title, {virus name: value}).
+    """
+    headers = ["GA virus", *TABLE_CATEGORIES, "Total"]
+    headers += [title for title, _ in extra_columns]
+    table_rows: List[List[str]] = []
+    for name, mix in rows:
+        total = sum(mix.get(c, 0) for c in TABLE_CATEGORIES) \
+            + mix.get("Nop", 0)
+        cells = [name]
+        cells += [str(mix.get(c, 0)) for c in TABLE_CATEGORIES]
+        cells.append(str(total))
+        for _, values in extra_columns:
+            value = values.get(name, "")
+            cells.append(f"{value:.2f}" if isinstance(value, float)
+                         else str(value))
+        table_rows.append(cells)
+
+    widths = [max(len(headers[i]), *(len(r[i]) for r in table_rows))
+              for i in range(len(headers))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

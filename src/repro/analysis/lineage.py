@@ -1,0 +1,137 @@
+"""Genealogy of evolved individuals (paper Section III.D).
+
+The population binaries carry "the source code, the id, the parent ids
+and the measurement values of each individual", which makes ancestry
+reconstructable after the fact: where did the winning virus's genes
+come from, when did its line overtake the population, how much of its
+final loop survives from each ancestor?
+
+This module answers those questions over a recorded run directory (or
+a list of loaded populations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.errors import ConfigError
+from ..core.individual import Individual
+from ..core.population import Population
+from .postprocess import load_run
+
+__all__ = ["LineageStep", "Lineage", "trace_lineage", "lineage_of_best"]
+
+
+@dataclass
+class LineageStep:
+    """One ancestor on the best individual's primary line."""
+
+    generation: int
+    uid: int
+    fitness: float
+    parent_ids: tuple
+    #: Instructions shared (same opcode+operands, position-free
+    #: multiset intersection) with the final individual.
+    genes_in_common: int
+
+
+@dataclass
+class Lineage:
+    """The primary ancestry chain of one individual, oldest first."""
+
+    target_uid: int
+    steps: List[LineageStep] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.steps)
+
+    def fitness_series(self) -> List[float]:
+        return [step.fitness for step in self.steps]
+
+    def render(self) -> str:
+        lines = [f"lineage of uid {self.target_uid} "
+                 f"({self.depth} generations deep):"]
+        for step in self.steps:
+            lines.append(
+                f"  gen {step.generation:3d}  uid {step.uid:5d}  "
+                f"fitness {step.fitness:10.4f}  "
+                f"shared genes {step.genes_in_common}")
+        return "\n".join(lines)
+
+
+def _shared_genes(a: Individual, b: Individual) -> int:
+    """Multiset intersection of (opcode, operand values) genes."""
+    pool: Dict[tuple, int] = {}
+    for instr in a.instructions:
+        key = (instr.name, instr.values)
+        pool[key] = pool.get(key, 0) + 1
+    shared = 0
+    for instr in b.instructions:
+        key = (instr.name, instr.values)
+        if pool.get(key, 0) > 0:
+            pool[key] -= 1
+            shared += 1
+    return shared
+
+
+def trace_lineage(populations: List[Population],
+                  individual: Individual) -> Lineage:
+    """Follow the *fitter parent* chain of ``individual`` back to the
+    seed population.
+
+    Crossover gives two parents; the chain follows the fitter one
+    (ties: the first listed), which is the conventional "primary
+    parent" reading of GA genealogies.
+    """
+    by_uid: Dict[int, Individual] = {}
+    generation_of: Dict[int, int] = {}
+    for population in populations:
+        for member in population:
+            by_uid[member.uid] = member
+            generation_of[member.uid] = population.number
+
+    if individual.uid not in by_uid:
+        raise ConfigError(
+            f"individual uid {individual.uid} not found in the recorded "
+            "populations")
+
+    chain: List[Individual] = []
+    current: Optional[Individual] = individual
+    seen = set()
+    while current is not None and current.uid not in seen:
+        seen.add(current.uid)
+        chain.append(current)
+        parents = [by_uid[pid] for pid in current.parent_ids
+                   if pid in by_uid]
+        if not parents:
+            current = None
+        else:
+            current = max(parents,
+                          key=lambda p: p.fitness
+                          if p.fitness is not None else float("-inf"))
+
+    chain.reverse()   # oldest first
+    lineage = Lineage(target_uid=individual.uid)
+    for ancestor in chain:
+        lineage.steps.append(LineageStep(
+            generation=generation_of[ancestor.uid],
+            uid=ancestor.uid,
+            fitness=ancestor.fitness or 0.0,
+            parent_ids=ancestor.parent_ids,
+            genes_in_common=_shared_genes(ancestor, individual)))
+    return lineage
+
+
+def lineage_of_best(results_dir: Union[str, Path]) -> Lineage:
+    """Trace the overall-best individual of a recorded run."""
+    populations = load_run(results_dir)
+    best: Optional[Individual] = None
+    for population in populations:
+        candidate = population.fittest()
+        if best is None or (candidate.fitness or 0) > (best.fitness or 0):
+            best = candidate
+    assert best is not None   # load_run guarantees >= 1 population
+    return trace_lineage(populations, best)

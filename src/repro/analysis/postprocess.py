@@ -1,0 +1,72 @@
+"""Post-processing of recorded GA runs (paper Section III.D).
+
+"As part of the framework release, there is a Python script that reads
+the populations in binary format and extracts statistics such as the
+fitness value of the fittest individual per generation and instruction
+mix breakdown of fittest individual per generation."  This module is
+that script's API: point it at a results directory written by
+:class:`~repro.core.output.OutputRecorder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..core.errors import ConfigError
+from ..core.individual import Individual
+from ..core.population import Population, load_population
+from .instruction_mix import mix_of_individual
+
+__all__ = ["RunStatistics", "load_run", "run_statistics"]
+
+
+@dataclass
+class RunStatistics:
+    """Aggregate statistics for a recorded run."""
+
+    generations: int
+    best_fitness_per_generation: List[float] = field(default_factory=list)
+    mean_fitness_per_generation: List[float] = field(default_factory=list)
+    best_mix_per_generation: List[Dict[str, int]] = field(
+        default_factory=list)
+    overall_best_fitness: float = 0.0
+    overall_best_generation: int = -1
+
+    def improvement(self) -> float:
+        """Final best over initial best (1.0 = no improvement)."""
+        series = self.best_fitness_per_generation
+        if not series or series[0] == 0:
+            return 1.0
+        return series[-1] / series[0]
+
+
+def load_run(results_dir: Union[str, Path]) -> List[Population]:
+    """Load every generation binary of a recorded run, in order."""
+    populations_dir = Path(results_dir) / "populations"
+    if not populations_dir.is_dir():
+        raise ConfigError(
+            f"{results_dir} does not look like a recorded run "
+            "(no populations/ directory)")
+    files = sorted(populations_dir.glob("population_*.bin"),
+                   key=lambda p: int(p.stem.split("_")[1]))
+    if not files:
+        raise ConfigError(f"no population binaries under {populations_dir}")
+    return [load_population(path) for path in files]
+
+
+def run_statistics(results_dir: Union[str, Path]) -> RunStatistics:
+    """The paper's released post-processing: per-generation fittest
+    fitness and fittest-individual instruction mix."""
+    populations = load_run(results_dir)
+    stats = RunStatistics(generations=len(populations))
+    for population in populations:
+        best: Individual = population.fittest()
+        stats.best_fitness_per_generation.append(best.fitness or 0.0)
+        stats.mean_fitness_per_generation.append(population.mean_fitness())
+        stats.best_mix_per_generation.append(mix_of_individual(best))
+        if (best.fitness or 0.0) >= stats.overall_best_fitness:
+            stats.overall_best_fitness = best.fitness or 0.0
+            stats.overall_best_generation = population.number
+    return stats

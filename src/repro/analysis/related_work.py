@@ -1,0 +1,62 @@
+"""Table V: qualitative comparison of GA stress-test frameworks.
+
+The paper's related-work table is static scholarship rather than an
+experiment; it is reproduced here as data (with a renderer) so the
+Table V benchmark can regenerate it verbatim and tests can assert on
+the claims the paper derives from it (e.g. GeST is the only
+instruction-level, real-hardware, multi-metric framework in the set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["FrameworkEntry", "RELATED_WORK", "related_work_table"]
+
+
+@dataclass(frozen=True)
+class FrameworkEntry:
+    """One row of Table V."""
+
+    framework: str
+    optimization_type: str          # Instruction-Level / Abstract-Workload
+    optimization_language: str
+    evaluated_on: str               # Real-Hardware / Simulator / both
+    metrics_evaluated: Tuple[str, ...]
+    component_stressed: str
+    references: str
+
+
+RELATED_WORK: List[FrameworkEntry] = [
+    FrameworkEntry("AUDIT", "Instruction-Level", "x86 ISA",
+                   "Real-Hardware / Simulator", ("dI/dt",), "CPU",
+                   "[1][3]"),
+    FrameworkEntry("MAMPO", "Abstract-Workload", "SPARC ISA",
+                   "Simulator", ("power",), "CPU+DRAM", "[7],[6]"),
+    FrameworkEntry("Joshi et al.", "Abstract-Workload", "Alpha ISA",
+                   "Simulator", ("power",), "CPU", "[4]"),
+    FrameworkEntry("Powermark", "Abstract-Workload", "C",
+                   "Real-Hardware", ("power",), "Full-System", "[5]"),
+    FrameworkEntry("GeST", "Instruction-Level", "ARM,x86",
+                   "Real-Hardware", ("dI/dt", "power"), "CPU",
+                   "this work"),
+]
+
+
+def related_work_table() -> str:
+    """Render Table V as ASCII."""
+    headers = ["Framework", "OptimizationType", "Optimization-Language",
+               "Evaluated-On", "Metrics Evaluated", "Component Stressed",
+               "References"]
+    rows = [[e.framework, e.optimization_type, e.optimization_language,
+             e.evaluated_on, ",".join(e.metrics_evaluated),
+             e.component_stressed, e.references]
+            for e in RELATED_WORK]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Frequency/voltage shmoo characterisation.
+
+Generalises the paper's Figure 9 methodology (V_MIN at the fixed
+nominal 3.1 GHz) across clock frequencies — the characterisation that
+guardband studies built on GeST-style viruses perform (e.g. the paper's
+reference [25], "Measuring and Exploiting Guardbands of Server-Grade
+ARMv8 CPU Cores").  For each frequency setting the supply is swept
+downward in the paper's 12.5 mV steps until the workload crashes; the
+result is the pass/fail boundary V_MIN(f).
+
+Physically interesting on this substrate: a dI/dt virus is *tuned* —
+its loop period in cycles matches the PDN resonance at the nominal
+clock, so re-clocking detunes it and its V_MIN advantage over plain
+power hogs shrinks away from the sweet spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import SimulationError
+from ..cpu.machine import SimulatedMachine
+from .vmin import VMIN_STEP_V, VminResult, characterize_vmin
+
+__all__ = ["ShmooResult", "frequency_shmoo", "shmoo_table"]
+
+#: Default frequency grid as fractions of the nominal clock.
+DEFAULT_FREQUENCY_FRACTIONS = (0.85, 1.0, 1.15)
+
+
+@dataclass
+class ShmooResult:
+    """V_MIN as a function of clock frequency for one workload."""
+
+    workload: str
+    nominal_frequency_hz: float
+    #: frequency (Hz) -> the full V_MIN sweep at that clock
+    sweeps: Dict[float, VminResult] = field(default_factory=dict)
+
+    @property
+    def frequencies_hz(self) -> List[float]:
+        return sorted(self.sweeps)
+
+    def vmin_at(self, frequency_hz: float) -> float:
+        return self.sweeps[frequency_hz].vmin_v
+
+    def vmin_curve(self) -> List[tuple]:
+        return [(f, self.sweeps[f].vmin_v) for f in self.frequencies_hz]
+
+    def is_monotonic_in_frequency(self) -> bool:
+        """Higher clock should never need *less* voltage."""
+        curve = [v for _, v in self.vmin_curve()]
+        return all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+
+
+def frequency_shmoo(machine: SimulatedMachine, source: str,
+                    name: str,
+                    frequency_fractions: Sequence[float]
+                    = DEFAULT_FREQUENCY_FRACTIONS,
+                    cores: Optional[int] = None,
+                    step_v: float = VMIN_STEP_V) -> ShmooResult:
+    """Characterise V_MIN over a grid of clock frequencies.
+
+    ``source`` is compiled per frequency point on the re-clocked
+    machine, exactly as the binary would be re-run after an
+    overclock/underclock on hardware.
+    """
+    if not frequency_fractions:
+        raise SimulationError("need at least one frequency point")
+    if any(fraction <= 0 for fraction in frequency_fractions):
+        raise SimulationError("frequency fractions must be positive")
+    cores = cores if cores is not None else machine.arch.core_count
+
+    result = ShmooResult(workload=name,
+                         nominal_frequency_hz=machine.nominal_frequency_hz)
+    for fraction in frequency_fractions:
+        frequency = machine.nominal_frequency_hz * fraction
+        clocked = machine.at_frequency(frequency)
+        program = clocked.compile(source, name=name)
+        result.sweeps[frequency] = characterize_vmin(
+            clocked, program, cores=cores, step_v=step_v, name=name)
+    return result
+
+
+def shmoo_table(results: List[ShmooResult]) -> str:
+    """Render several workloads' V_MIN(f) curves side by side."""
+    if not results:
+        raise SimulationError("no shmoo results to render")
+    frequencies = results[0].frequencies_hz
+    width = max(len(r.workload) for r in results)
+    header = "f (GHz)".ljust(10) + "  ".join(
+        r.workload.rjust(max(width, 9)) for r in results)
+    lines = [header]
+    for frequency in frequencies:
+        cells = [f"{frequency / 1e9:.2f}".ljust(10)]
+        for r in results:
+            cells.append(f"{r.vmin_at(frequency):.4f} V".rjust(
+                max(width, 9)))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""GeST-style command line.
+
+The original tool is driven as ``python gest.py <config.xml>``.  This
+reproduction mirrors that::
+
+    gest run config.xml [--generations N] [--platform NAME]
+    gest measure source.s --platform NAME [--cores N]
+    gest stats results_dir/
+    gest presets
+
+``run`` executes a GA search described by a main configuration file
+against a simulated platform, recording outputs per the paper's
+conventions.  ``measure`` runs one source file (e.g. a recorded
+individual) and prints every sensor — the quick way to re-score a
+saved virus.  ``stats`` replays the released post-processing script on
+a recorded run.  ``presets`` lists the available simulated platforms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.postprocess import run_statistics
+from .core.config import parse_config_file
+from .core.engine import GeneticEngine
+from .core.errors import GestError
+from .core.loader import instantiate, load_class
+from .core.output import OutputRecorder
+from .cpu.machine import SimulatedMachine
+from .cpu.microarch import preset_names
+from .cpu.target import SimulatedTarget
+from .fitness.default_fitness import DefaultFitness
+from .measurement.base import Measurement
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gest",
+        description="GeST reproduction: GA-based CPU stress-test "
+                    "generation on simulated platforms")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a GA search from a config file")
+    run.add_argument("config", type=Path, help="main configuration XML")
+    run.add_argument("--platform", default="cortex_a15",
+                     choices=preset_names(),
+                     help="simulated target platform")
+    run.add_argument("--generations", type=int, default=None,
+                     help="override the configured generation count")
+    run.add_argument("--results", type=Path, default=None,
+                     help="override the configured results directory")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the configured GA seed")
+    run.add_argument("--quiet", action="store_true")
+
+    measure = sub.add_parser(
+        "measure", help="compile and run one source file, print sensors")
+    measure.add_argument("source", type=Path, help="assembly source file")
+    measure.add_argument("--platform", default="cortex_a15",
+                         choices=preset_names())
+    measure.add_argument("--cores", type=int, default=None,
+                         help="instances to run (default: all cores)")
+    measure.add_argument("--duration", type=float, default=5.0)
+    measure.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser("stats",
+                           help="post-process a recorded run directory")
+    stats.add_argument("results_dir", type=Path)
+
+    sub.add_parser("presets", help="list simulated platforms")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = parse_config_file(args.config)
+    if args.seed is not None:
+        config.ga.seed = args.seed
+    machine = SimulatedMachine(args.platform,
+                               seed=config.ga.seed or 0)
+    target = SimulatedTarget(machine)
+    target.connect()
+    measurement = instantiate(config.measurement_class, Measurement,
+                              target, config.measurement_params)
+    fitness_cls = load_class(config.fitness_class)
+    fitness = fitness_cls() if fitness_cls is not DefaultFitness \
+        else DefaultFitness()
+
+    results_dir = args.results or config.results_dir
+    recorder = OutputRecorder(results_dir) if results_dir else None
+    engine = GeneticEngine(config, measurement, fitness, recorder=recorder)
+    history = engine.run(args.generations)
+
+    best = history.best_individual
+    if not args.quiet:
+        for stats in history.generations:
+            print(f"generation {stats.number:3d}  "
+                  f"best {stats.best_fitness:10.4f}  "
+                  f"mean {stats.mean_fitness:10.4f}")
+        print(f"\nbest individual uid={best.uid} "
+              f"fitness={best.fitness:.4f} "
+              f"measurements={[round(m, 4) for m in best.measurements]}")
+        print(best.render_body())
+        if recorder is not None:
+            print(f"\nresults recorded under {recorder.results_dir}")
+    return 0
+
+
+def _command_measure(args: argparse.Namespace) -> int:
+    if not args.source.exists():
+        print(f"error: source file {args.source} does not exist",
+              file=sys.stderr)
+        return 1
+    machine = SimulatedMachine(args.platform, seed=args.seed)
+    cores = args.cores if args.cores is not None \
+        else machine.arch.core_count
+    result = machine.run_source(args.source.read_text(),
+                                name=args.source.name,
+                                cores=cores, duration_s=args.duration)
+    print(f"platform:        {args.platform} "
+          f"({cores} instance(s), {args.duration:.1f}s)")
+    print(f"IPC:             {result.ipc:.3f}")
+    print(f"avg chip power:  {result.avg_power_w:.3f} W "
+          f"(peak sample {result.peak_power_w:.3f} W)")
+    print(f"chip temp:       {result.temperature_c:.2f} C")
+    print(f"voltage pk-pk:   {result.peak_to_peak_v * 1000:.2f} mV "
+          f"(min {result.v_min:.4f} V)")
+    if result.noc_power_w:
+        print(f"NoC power:       {result.noc_power_w:.2f} W")
+    print(f"status:          {'CRASHED' if result.crashed else 'ok'}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    stats = run_statistics(args.results_dir)
+    print(f"generations: {stats.generations}")
+    print(f"overall best fitness: {stats.overall_best_fitness:.4f} "
+          f"(generation {stats.overall_best_generation})")
+    print("best fitness per generation:")
+    for number, value in enumerate(stats.best_fitness_per_generation):
+        print(f"  {number:3d}  {value:.4f}")
+    final_mix = stats.best_mix_per_generation[-1]
+    print("final fittest instruction mix:")
+    for category, count in sorted(final_mix.items()):
+        if count:
+            print(f"  {category:12s} {count}")
+    return 0
+
+
+def _command_presets() -> int:
+    from .cpu.microarch import PRESETS
+    for name in preset_names():
+        arch = PRESETS[name]
+        kind = "in-order" if arch.in_order else "out-of-order"
+        print(f"{name:12s} {arch.isa:4s} {arch.core_count} cores  "
+              f"{arch.frequency_hz / 1e9:.1f} GHz  {kind}, "
+              f"{arch.issue_width}-wide")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "measure":
+            return _command_measure(args)
+        if args.command == "stats":
+            return _command_stats(args)
+        if args.command == "presets":
+            return _command_presets()
+    except GestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — exit quietly like
+        # well-behaved UNIX tools do.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

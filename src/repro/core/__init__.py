@@ -1,0 +1,45 @@
+"""Core GA framework: the paper's primary contribution.
+
+Public surface re-exported here:
+
+* configuration — :class:`GAParameters`, :class:`RunConfig`, XML parsing
+* genome model — operands, instruction specs, individuals, populations
+* GA machinery — operators, :class:`GeneticEngine`, run history
+* plumbing — templates, output recording, dynamic class loading
+"""
+
+from .config import (GAParameters, RunConfig, config_to_xml,
+                     parse_config_file, parse_config_text,
+                     parse_measurement_config)
+from .engine import GenerationStats, GeneticEngine, RunHistory
+from .errors import (AssemblyError, ConfigError, GestError, LoaderError,
+                     MeasurementError, SimulationError, TargetError,
+                     TemplateError)
+from .individual import Individual, random_individual
+from .instruction import ConcreteInstruction, InstructionLibrary, InstructionSpec
+from .loader import instantiate, load_class
+from .operand import ImmediateOperand, LabelOperand, Operand, RegisterOperand
+from .operators import (CROSSOVER_OPERATORS, mutate, one_point_crossover,
+                        tournament_select, uniform_crossover)
+from .output import OutputRecorder, individual_filename
+from .population import Population, load_population
+from .rng import make_rng, spawn
+from .template import LOOP_MARKER, Template
+
+__all__ = [
+    "GAParameters", "RunConfig", "config_to_xml", "parse_config_file",
+    "parse_config_text", "parse_measurement_config",
+    "GenerationStats", "GeneticEngine", "RunHistory",
+    "AssemblyError", "ConfigError", "GestError", "LoaderError",
+    "MeasurementError", "SimulationError", "TargetError", "TemplateError",
+    "Individual", "random_individual",
+    "ConcreteInstruction", "InstructionLibrary", "InstructionSpec",
+    "instantiate", "load_class",
+    "ImmediateOperand", "LabelOperand", "Operand", "RegisterOperand",
+    "CROSSOVER_OPERATORS", "mutate", "one_point_crossover",
+    "tournament_select", "uniform_crossover",
+    "OutputRecorder", "individual_filename",
+    "Population", "load_population",
+    "make_rng", "spawn",
+    "LOOP_MARKER", "Template",
+]

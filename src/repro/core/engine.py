@@ -1,0 +1,321 @@
+"""The GA engine (paper Section III.A, Figure 2).
+
+The engine coordinates the whole flow: seed population → measure
+individuals → create next generation (selection, crossover, mutation,
+elitism) → repeat.  Measurement and fitness objects are supplied by the
+caller (or loaded dynamically from a :class:`RunConfig`), keeping the
+engine agnostic of *what* is being optimised — exactly the plug-and-play
+structure the paper argues for.
+
+Compile failures are tolerated: an individual whose generated source
+does not assemble receives fitness 0 and stays in the records, it just
+never wins a tournament.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+from typing import List, Optional, Protocol, Sequence, Union
+
+from .config import RunConfig
+from .errors import AssemblyError, ConfigError
+from .individual import Individual, random_individual
+from .operators import CROSSOVER_OPERATORS, mutate, tournament_select
+from .output import OutputRecorder
+from .population import Population, load_population
+from .rng import make_rng
+from .template import Template
+
+__all__ = ["MeasurementProtocol", "FitnessProtocol", "GenerationStats",
+           "RunHistory", "GeneticEngine"]
+
+
+class MeasurementProtocol(Protocol):
+    """What the engine needs from a measurement object (paper III.C)."""
+
+    def measure(self, source_text: str,
+                individual: Individual) -> List[float]:
+        """Compile and run ``source_text`` on the target, returning the
+        list of measurement values (first one is the default fitness)."""
+        ...
+
+
+class FitnessProtocol(Protocol):
+    """What the engine needs from a fitness object (paper III.C)."""
+
+    def get_fitness(self, measurements: Sequence[float],
+                    individual: Individual) -> float:
+        ...
+
+
+@dataclass
+class GenerationStats:
+    """Per-generation summary used for convergence analysis."""
+
+    number: int
+    best_fitness: float
+    mean_fitness: float
+    best_uid: int
+    compile_failures: int
+    best_measurements: List[float] = field(default_factory=list)
+
+
+@dataclass
+class RunHistory:
+    """The full trace of a GA run."""
+
+    generations: List[GenerationStats] = field(default_factory=list)
+    final_population: Optional[Population] = None
+    best_individual: Optional[Individual] = None
+
+    def best_fitness_series(self) -> List[float]:
+        return [g.best_fitness for g in self.generations]
+
+    def mean_fitness_series(self) -> List[float]:
+        return [g.mean_fitness for g in self.generations]
+
+
+class GeneticEngine:
+    """Runs one GA search.
+
+    Parameters
+    ----------
+    config:
+        The run configuration (GA parameters, instruction library,
+        template text, optional seed-population file).
+    measurement, fitness:
+        Plug-in objects; see the protocols above.
+    recorder:
+        Optional :class:`OutputRecorder`; when given, every individual
+        source file and every generation binary is persisted per the
+        paper's output conventions.
+    rng:
+        Optional explicit random stream; defaults to one seeded from
+        ``config.ga.seed``.
+    checkpoint_path:
+        Optional file updated after every generation with the full
+        engine state (population, RNG stream, uid counter).  A run of
+        the paper's scale is hours of measurements; ``resume`` restarts
+        an interrupted search from the last completed generation with
+        bit-identical behaviour.
+    """
+
+    def __init__(self, config: RunConfig,
+                 measurement: MeasurementProtocol,
+                 fitness: FitnessProtocol,
+                 recorder: Optional[OutputRecorder] = None,
+                 rng: Optional[Random] = None,
+                 checkpoint_path: Optional[Union[str, Path]] = None
+                 ) -> None:
+        config.validate()
+        self.config = config
+        self.measurement = measurement
+        self.fitness = fitness
+        self.recorder = recorder
+        self.rng = rng if rng is not None else make_rng(config.ga.seed)
+        self.template = Template(config.template_text)
+        self._crossover = CROSSOVER_OPERATORS[config.ga.crossover_operator]
+        self._next_uid = 0
+        self._best: Optional[Individual] = None
+        self.checkpoint_path = Path(checkpoint_path) \
+            if checkpoint_path is not None else None
+        self._resume_state: Optional[dict] = None
+        if recorder is not None:
+            recorder.record_provenance(config)
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, generations: Optional[int] = None) -> RunHistory:
+        """Execute the GA for ``generations`` (default: config value)."""
+        total = generations if generations is not None \
+            else self.config.ga.generations
+        if total < 1:
+            raise ConfigError("generations must be >= 1")
+
+        history = RunHistory()
+        if self._resume_state is not None:
+            state = self._resume_state
+            self._resume_state = None
+            population = state["population"]
+            self._next_uid = state["next_uid"]
+            self._best = state["best"]
+            self.rng.setstate(state["rng_state"])
+            start = state["generation"] + 1
+            if start >= total:
+                raise ConfigError(
+                    f"checkpoint already covers generation "
+                    f"{state['generation']} of a {total}-generation run")
+            population = self._breed(population, start)
+        else:
+            population = self._seed_population()
+            start = 0
+        for number in range(start, total):
+            population.number = number
+            for individual in population:
+                individual.generation = number
+            self._evaluate_population(population)
+            self._record_generation(population, history)
+            if number < total - 1:
+                population = self._breed(population, number + 1)
+
+        history.final_population = population
+        history.best_individual = self._best
+        return history
+
+    def render_source(self, individual: Individual) -> str:
+        """Instantiate the template with an individual's loop body."""
+        return self.template.instantiate(individual.render_body())
+
+    # -- GA steps -------------------------------------------------------------
+
+    def _seed_population(self) -> Population:
+        """Random initial population, or one loaded from a previous run
+        (paper III.D: population binaries can seed a new search)."""
+        ga = self.config.ga
+        if self.config.seed_population_file is not None:
+            loaded = load_population(self.config.seed_population_file,
+                                     expected_size=ga.population_size)
+            individuals = []
+            for individual in loaded:
+                clone = individual.clone(uid=self._take_uid())
+                individuals.append(clone)
+            return Population(individuals, number=0)
+        individuals = [
+            random_individual(self.config.library, ga.individual_size,
+                              self.rng, uid=self._take_uid())
+            for _ in range(ga.population_size)
+        ]
+        return Population(individuals, number=0)
+
+    def _evaluate_population(self, population: Population) -> None:
+        for individual in population:
+            if individual.evaluated:
+                continue
+            source = self.render_source(individual)
+            measure = getattr(self.measurement, "measure_repeated",
+                              self.measurement.measure)
+            try:
+                measurements = measure(source, individual)
+            except AssemblyError:
+                individual.record_evaluation([0.0], 0.0, compile_failed=True)
+            else:
+                if not measurements:
+                    raise ConfigError(
+                        "measurement returned an empty result list")
+                value = self.fitness.get_fitness(measurements, individual)
+                individual.record_evaluation(measurements, value)
+            if self.recorder is not None:
+                self.recorder.record_individual(individual, source)
+            self._update_best(individual)
+
+    def _breed(self, population: Population, next_number: int) -> Population:
+        """Create the next generation (paper Figure 3)."""
+        ga = self.config.ga
+        children: List[Individual] = []
+
+        if ga.elitism:
+            elite = population.fittest()
+            children.append(elite.clone(uid=self._take_uid(),
+                                        parent_ids=(elite.uid,)))
+
+        while len(children) < ga.population_size:
+            parent1 = tournament_select(population.individuals, self.rng,
+                                        ga.tournament_size)
+            parent2 = tournament_select(population.individuals, self.rng,
+                                        ga.tournament_size)
+            genome1, genome2 = self._crossover(parent1, parent2, self.rng)
+            for genome in (genome1, genome2):
+                if len(children) >= ga.population_size:
+                    break
+                mutated = mutate(genome, self.config.library, self.rng,
+                                 ga.mutation_rate, ga.operand_mutation_share)
+                children.append(Individual(
+                    mutated, uid=self._take_uid(),
+                    parent_ids=(parent1.uid, parent2.uid)))
+
+        return Population(children, number=next_number)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _take_uid(self) -> int:
+        uid = self._next_uid
+        self._next_uid += 1
+        return uid
+
+    def _update_best(self, individual: Individual) -> None:
+        if individual.fitness is None:
+            return
+        if self._best is None or (self._best.fitness is not None and
+                                  individual.fitness > self._best.fitness):
+            self._best = individual
+
+    # -- checkpoint / resume ----------------------------------------------
+
+    def save_checkpoint(self, population: Population) -> Path:
+        """Persist the engine state after a completed generation."""
+        if self.checkpoint_path is None:
+            raise ConfigError("engine has no checkpoint path configured")
+        payload = {
+            "format": "gest-repro-checkpoint",
+            "version": 1,
+            "generation": population.number,
+            "population": population,
+            "next_uid": self._next_uid,
+            "best": self._best,
+            "rng_state": self.rng.getstate(),
+        }
+        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.checkpoint_path.with_suffix(".tmp")
+        with open(temp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=4)
+        temp.replace(self.checkpoint_path)
+        return self.checkpoint_path
+
+    @classmethod
+    def resume(cls, config: RunConfig,
+               measurement: MeasurementProtocol,
+               fitness: FitnessProtocol,
+               checkpoint_path: Union[str, Path],
+               recorder: Optional[OutputRecorder] = None
+               ) -> "GeneticEngine":
+        """Rebuild an engine from a checkpoint file.
+
+        The next :meth:`run` continues from the generation after the
+        checkpointed one and reproduces exactly what the uninterrupted
+        run would have produced (population, RNG stream and uid counter
+        are all restored).
+        """
+        checkpoint_path = Path(checkpoint_path)
+        if not checkpoint_path.exists():
+            raise ConfigError(
+                f"checkpoint {checkpoint_path} does not exist")
+        with open(checkpoint_path, "rb") as handle:
+            payload = pickle.load(handle)
+        if not isinstance(payload, dict) or \
+                payload.get("format") != "gest-repro-checkpoint":
+            raise ConfigError(
+                f"{checkpoint_path} is not a checkpoint file")
+        engine = cls(config, measurement, fitness, recorder=recorder,
+                     checkpoint_path=checkpoint_path)
+        engine._resume_state = payload
+        return engine
+
+    def _record_generation(self, population: Population,
+                           history: RunHistory) -> None:
+        best = population.fittest()
+        stats = GenerationStats(
+            number=population.number,
+            best_fitness=best.fitness if best.fitness is not None else 0.0,
+            mean_fitness=population.mean_fitness(),
+            best_uid=best.uid,
+            compile_failures=sum(1 for i in population if i.compile_failed),
+            best_measurements=list(best.measurements),
+        )
+        history.generations.append(stats)
+        if self.recorder is not None:
+            self.recorder.record_population(population)
+        if self.checkpoint_path is not None:
+            self.save_checkpoint(population)

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the GeST reproduction.
+
+Every error raised by the framework derives from :class:`GestError` so
+callers can catch framework failures without swallowing genuine bugs
+(``TypeError`` and friends propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class GestError(Exception):
+    """Base class for all framework errors."""
+
+
+class ConfigError(GestError):
+    """A configuration file or programmatic configuration is invalid.
+
+    The paper specifies that the framework terminates execution when an
+    instruction definition references an undefined operand id; that
+    condition surfaces as this exception.
+    """
+
+
+class TemplateError(GestError):
+    """The template source file is malformed.
+
+    Typically the ``#loop_code`` marker required by Section III.B.2 of
+    the paper is missing.
+    """
+
+
+class AssemblyError(GestError):
+    """Generated source code failed to assemble ("compile failure").
+
+    The paper notes that instruction definitions with ISA-incompatible
+    operands produce sequences that fail to compile; the GA treats such
+    individuals as unfit rather than aborting the search.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line: str | None = None) -> None:
+        self.line_number = line_number
+        self.line = line
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class MeasurementError(GestError):
+    """A measurement procedure failed (target unreachable, bad sensor...)."""
+
+
+class TargetError(GestError):
+    """The (simulated) target machine rejected an operation."""
+
+
+class LoaderError(GestError):
+    """A measurement or fitness class could not be dynamically loaded."""
+
+
+class SimulationError(GestError):
+    """The CPU model could not execute a program."""

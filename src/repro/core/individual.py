@@ -1,0 +1,104 @@
+"""GA individuals (paper Section III.A).
+
+An **individual** is a sequence of concrete assembly instructions — the
+body of the stress-test loop.  Individuals carry their measurement
+results, fitness value and parent ids so that the output recorder can
+persist the provenance the paper describes (population binaries contain
+"the source code, the id, the parent ids and the measurement values of
+each individual").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from random import Random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .instruction import ConcreteInstruction, InstructionLibrary
+
+__all__ = ["Individual", "random_individual"]
+
+
+class Individual:
+    """A candidate stress-test: an ordered list of concrete instructions.
+
+    The instruction list is immutable after construction; GA operators
+    build *new* individuals rather than mutating existing ones, so a
+    recorded population can never be corrupted retroactively.
+    Measurement results and fitness are attached post-construction by
+    the engine (they are observations, not genome).
+    """
+
+    __slots__ = ("instructions", "uid", "parent_ids", "measurements",
+                 "fitness", "generation", "compile_failed")
+
+    def __init__(self, instructions: Sequence[ConcreteInstruction],
+                 uid: int = -1,
+                 parent_ids: Tuple[int, ...] = ()) -> None:
+        self.instructions: Tuple[ConcreteInstruction, ...] = tuple(instructions)
+        self.uid = uid
+        self.parent_ids = tuple(parent_ids)
+        self.measurements: List[float] = []
+        self.fitness: Optional[float] = None
+        self.generation: int = -1
+        self.compile_failed: bool = False
+
+    # -- genome ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def render_body(self) -> str:
+        """The loop-body assembly text, one instruction per line."""
+        return "\n".join(instr.render() for instr in self.instructions)
+
+    def opcode_sequence(self) -> Tuple[str, ...]:
+        return tuple(instr.name for instr in self.instructions)
+
+    def unique_instruction_count(self) -> int:
+        """Number of distinct opcodes — the ``U_I`` term of the paper's
+        Equation 1 simplicity score."""
+        return len(set(self.opcode_sequence()))
+
+    def instruction_mix(self) -> Dict[str, int]:
+        """Counts per instruction-type tag (``itype``)."""
+        return dict(Counter(instr.itype for instr in self.instructions))
+
+    def genome_key(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        """A hashable key identifying the exact genome (opcodes and
+        operand values), used for deduplication in analyses."""
+        return tuple((i.name, i.values) for i in self.instructions)
+
+    # -- lineage / bookkeeping --------------------------------------------
+
+    def clone(self, uid: int = -1,
+              parent_ids: Tuple[int, ...] = ()) -> "Individual":
+        """A fresh unevaluated individual with the same genome."""
+        return Individual(self.instructions, uid=uid, parent_ids=parent_ids)
+
+    @property
+    def evaluated(self) -> bool:
+        return self.fitness is not None
+
+    def record_evaluation(self, measurements: Sequence[float],
+                          fitness: float,
+                          compile_failed: bool = False) -> None:
+        self.measurements = list(measurements)
+        self.fitness = float(fitness)
+        self.compile_failed = compile_failed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fit = "unmeasured" if self.fitness is None else f"{self.fitness:.4f}"
+        return (f"Individual(uid={self.uid}, len={len(self)}, "
+                f"fitness={fit})")
+
+
+def random_individual(library: InstructionLibrary, size: int,
+                      rng: Random, uid: int = -1) -> Individual:
+    """A uniformly random individual of ``size`` instructions.
+
+    This is how the random seed population of the GA is built when no
+    previous-run population is supplied.
+    """
+    instructions = [library.random_instruction(rng) for _ in range(size)]
+    return Individual(instructions, uid=uid)

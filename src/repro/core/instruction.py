@@ -1,0 +1,225 @@
+"""Instruction definitions and concrete instructions (paper Figure 4).
+
+An :class:`InstructionSpec` is the user-facing definition: a unique
+name, the ids of the operand pools each slot draws from, a ``format``
+string telling the framework how to print the instruction, and a free
+``itype`` tag used for instruction-mix breakdowns (int / float / SIMD /
+mem / branch in the paper's tables).
+
+A :class:`ConcreteInstruction` is one realised form — a spec plus one
+chosen value per slot.  The GA's search space is the set of all
+concrete instructions times their ordering; mutation resamples either a
+whole instruction (new spec, new values) or a single operand slot.
+
+A spec's format string contains the placeholders ``op1`` ... ``opN``.
+Substitution replaces higher-numbered placeholders first so ``op12``
+is never corrupted by the ``op1`` replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, Mapping, Sequence, Tuple
+
+from .errors import ConfigError
+from .operand import Operand
+
+__all__ = ["InstructionSpec", "ConcreteInstruction", "InstructionLibrary"]
+
+#: Canonical instruction-type tags used by the paper's breakdown tables.
+KNOWN_TYPES = ("int_short", "int_long", "float", "simd", "mem", "branch", "nop")
+
+
+class InstructionSpec:
+    """A user-supplied instruction definition.
+
+    Parameters mirror the XML attributes of Figure 4:
+
+    ``name``
+        Unique identifier (``LDR``); uniqueness is enforced by
+        :class:`InstructionLibrary`.
+    ``operand_ids``
+        Ids of the operand definitions for slots 1..N, in slot order.
+    ``fmt``
+        Print format with ``op1``..``opN`` placeholders, e.g.
+        ``"LDR op1, [op2, #op3]"``.
+    ``itype``
+        Classification tag (``mem``, ``float``, ...).  Any string is
+        accepted; the analysis module groups the paper's canonical tags.
+    """
+
+    __slots__ = ("name", "operand_ids", "fmt", "itype")
+
+    def __init__(self, name: str, operand_ids: Sequence[str], fmt: str,
+                 itype: str) -> None:
+        if not name:
+            raise ConfigError("instruction name must be non-empty")
+        if not fmt:
+            raise ConfigError(f"instruction {name!r}: format must be non-empty")
+        self.name = name
+        self.operand_ids = tuple(operand_ids)
+        self.fmt = fmt
+        self.itype = itype
+        for slot in range(1, len(self.operand_ids) + 1):
+            if f"op{slot}" not in fmt:
+                raise ConfigError(
+                    f"instruction {name!r}: format {fmt!r} does not mention "
+                    f"placeholder op{slot}")
+
+    @property
+    def num_operands(self) -> int:
+        return len(self.operand_ids)
+
+    def render(self, values: Sequence[str]) -> str:
+        """Substitute ``values`` into the format string.
+
+        Placeholders are replaced from the highest slot number down so
+        that e.g. ``op10`` is handled before ``op1``.
+        """
+        if len(values) != self.num_operands:
+            raise ConfigError(
+                f"instruction {self.name!r} expects {self.num_operands} "
+                f"operand values, got {len(values)}")
+        text = self.fmt
+        for slot in range(self.num_operands, 0, -1):
+            text = text.replace(f"op{slot}", values[slot - 1])
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"InstructionSpec(name={self.name!r}, "
+                f"operands={self.operand_ids!r}, type={self.itype!r})")
+
+
+@dataclass(frozen=True)
+class ConcreteInstruction:
+    """One realised instruction: a spec plus chosen operand values.
+
+    Immutable and hashable so populations can be de-duplicated and
+    instruction provenance compared across generations.
+    """
+
+    spec: InstructionSpec
+    values: Tuple[str, ...]
+
+    def render(self) -> str:
+        """The assembly text for this instruction."""
+        return self.spec.render(self.values)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def itype(self) -> str:
+        return self.spec.itype
+
+    def with_value(self, slot: int, value: str) -> "ConcreteInstruction":
+        """A copy with operand ``slot`` (0-based) replaced by ``value``."""
+        if not 0 <= slot < len(self.values):
+            raise ConfigError(
+                f"instruction {self.name!r} has no operand slot {slot}")
+        new_values = list(self.values)
+        new_values[slot] = value
+        return ConcreteInstruction(self.spec, tuple(new_values))
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class InstructionLibrary:
+    """The full set of instruction and operand definitions for a search.
+
+    Validates, at construction time, that every operand id referenced by
+    an instruction definition exists — the paper states the framework
+    terminates if an instruction references an undefined operand id,
+    which here surfaces as :class:`~repro.core.errors.ConfigError`.
+    """
+
+    def __init__(self, operands: Sequence[Operand],
+                 instructions: Sequence[InstructionSpec]) -> None:
+        self._operands: Dict[str, Operand] = {}
+        for operand in operands:
+            if operand.id in self._operands:
+                raise ConfigError(f"duplicate operand id {operand.id!r}")
+            self._operands[operand.id] = operand
+
+        self._instructions: Dict[str, InstructionSpec] = {}
+        for spec in instructions:
+            if spec.name in self._instructions:
+                raise ConfigError(f"duplicate instruction name {spec.name!r}")
+            for oid in spec.operand_ids:
+                if oid not in self._operands:
+                    raise ConfigError(
+                        f"instruction {spec.name!r} references undefined "
+                        f"operand id {oid!r}")
+            self._instructions[spec.name] = spec
+
+        if not self._instructions:
+            raise ConfigError("instruction library is empty")
+
+        self._names = tuple(self._instructions)
+
+    # -- lookup ----------------------------------------------------------
+
+    @property
+    def operands(self) -> Mapping[str, Operand]:
+        return dict(self._operands)
+
+    @property
+    def instructions(self) -> Mapping[str, InstructionSpec]:
+        return dict(self._instructions)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    def spec(self, name: str) -> InstructionSpec:
+        try:
+            return self._instructions[name]
+        except KeyError:
+            raise ConfigError(f"unknown instruction {name!r}") from None
+
+    def operand(self, operand_id: str) -> Operand:
+        try:
+            return self._operands[operand_id]
+        except KeyError:
+            raise ConfigError(f"unknown operand id {operand_id!r}") from None
+
+    # -- sampling --------------------------------------------------------
+
+    def variant_count(self, name: str) -> int:
+        """Number of possible forms of instruction ``name`` (the paper's
+        "99 possible ways the GA can use the LDR instruction")."""
+        spec = self.spec(name)
+        total = 1
+        for oid in spec.operand_ids:
+            total *= self._operands[oid].cardinality()
+        return total
+
+    def sample_values(self, spec: InstructionSpec,
+                      rng: Random) -> Tuple[str, ...]:
+        """Random operand values for ``spec``, one per slot."""
+        return tuple(self._operands[oid].sample(rng)
+                     for oid in spec.operand_ids)
+
+    def random_instruction(self, rng: Random) -> ConcreteInstruction:
+        """A uniformly random concrete instruction (random spec, then
+        random values) — the mutation/seed primitive of the GA."""
+        spec = self._instructions[self._names[rng.randrange(len(self._names))]]
+        return ConcreteInstruction(spec, self.sample_values(spec, rng))
+
+    def random_operand_value(self, instr: ConcreteInstruction, slot: int,
+                             rng: Random) -> str:
+        """A random replacement value for one slot of ``instr``."""
+        spec = instr.spec
+        if not 0 <= slot < spec.num_operands:
+            raise ConfigError(
+                f"instruction {spec.name!r} has no operand slot {slot}")
+        return self._operands[spec.operand_ids[slot]].sample(rng)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._instructions

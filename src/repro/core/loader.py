@@ -1,0 +1,54 @@
+"""Dynamic class loading (paper Section III.C).
+
+GeST loads the user's measurement and fitness classes by name from the
+configuration file — "the user defined class is dynamically loaded by
+only specifying the class name in the input configuration file.  No
+other change in the source code is required."
+
+:func:`load_class` resolves a dotted path like
+``repro.measurement.power.PowerMeasurement``; :func:`instantiate`
+additionally checks the loaded class against an expected base class so
+a typo'd name fails with a clear error instead of an attribute error
+deep inside the GA loop.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Optional, Type
+
+from .errors import LoaderError
+
+__all__ = ["load_class", "instantiate"]
+
+
+def load_class(dotted_path: str) -> Type:
+    """Import ``pkg.module.ClassName`` and return the class object."""
+    if "." not in dotted_path:
+        raise LoaderError(
+            f"{dotted_path!r} is not a dotted class path "
+            "(expected e.g. 'repro.fitness.default_fitness.DefaultFitness')")
+    module_path, _, class_name = dotted_path.rpartition(".")
+    try:
+        module = importlib.import_module(module_path)
+    except ImportError as exc:
+        raise LoaderError(
+            f"cannot import module {module_path!r}: {exc}") from exc
+    try:
+        cls = getattr(module, class_name)
+    except AttributeError:
+        raise LoaderError(
+            f"module {module_path!r} has no class {class_name!r}") from None
+    if not isinstance(cls, type):
+        raise LoaderError(f"{dotted_path!r} is not a class")
+    return cls
+
+
+def instantiate(dotted_path: str, base: Optional[Type] = None,
+                *args: Any, **kwargs: Any) -> Any:
+    """Load ``dotted_path``, verify it subclasses ``base`` and call it."""
+    cls = load_class(dotted_path)
+    if base is not None and not issubclass(cls, base):
+        raise LoaderError(
+            f"{dotted_path!r} does not inherit from {base.__name__}")
+    return cls(*args, **kwargs)

@@ -1,0 +1,153 @@
+"""Operand definitions (paper Section III.B.1, Figure 4).
+
+An *operand definition* names a pool of concrete values an instruction
+slot may take.  The paper defines two kinds:
+
+* **register operands** — an explicit, space-separated list of register
+  names (``values="x2 x3 x4"``);
+* **immediate operands** — an integer range expressed as ``min``/``max``/
+  ``stride`` (``min=0 max=256 stride=8`` yields 0, 8, ..., 256).
+
+Operand definitions are shared between instructions: the same
+``mem_address_register`` pool can serve ``LDR``, ``STR``, ``LDP`` and
+``STP``.  The paper also uses *disjoint* register pools to force or
+forbid dependencies between instruction groups (e.g. keep integer ops
+off load-result registers when maximising IPC); nothing in this module
+needs to know about that — it falls out of how pools are declared.
+
+This reproduction adds a third kind, :class:`LabelOperand`, used by
+branch definitions whose targets are assembler-local labels rather than
+registers or immediates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from random import Random
+from typing import List, Sequence
+
+from .errors import ConfigError
+
+__all__ = [
+    "Operand",
+    "RegisterOperand",
+    "ImmediateOperand",
+    "LabelOperand",
+]
+
+
+class Operand(ABC):
+    """A named pool of concrete operand values.
+
+    Subclasses provide :meth:`choices`, the full enumeration of values
+    the GA may pick from.  Values are already *rendered* — they are the
+    exact strings substituted into an instruction's format string.
+    """
+
+    kind: str = "abstract"
+
+    def __init__(self, operand_id: str) -> None:
+        if not operand_id:
+            raise ConfigError("operand id must be a non-empty string")
+        self.id = operand_id
+
+    @abstractmethod
+    def choices(self) -> Sequence[str]:
+        """Every value this operand may take, in a stable order."""
+
+    def cardinality(self) -> int:
+        """Number of distinct values (the paper multiplies these to
+        count an instruction's possible forms, e.g. 3 x 1 x 33 = 99 for
+        the Figure 4 LDR)."""
+        return len(self.choices())
+
+    def sample(self, rng: Random) -> str:
+        """Draw one value uniformly at random."""
+        options = self.choices()
+        if not options:
+            raise ConfigError(f"operand {self.id!r} has no values to sample")
+        return options[rng.randrange(len(options))]
+
+    def contains(self, value: str) -> bool:
+        return value in self.choices()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.id!r}, n={self.cardinality()})"
+
+
+class RegisterOperand(Operand):
+    """A pool of register names, e.g. ``x2 x3 x4``."""
+
+    kind = "register"
+
+    def __init__(self, operand_id: str, values: Sequence[str]) -> None:
+        super().__init__(operand_id)
+        cleaned = [v for v in values if v]
+        if not cleaned:
+            raise ConfigError(
+                f"register operand {operand_id!r} needs at least one register")
+        seen = set()
+        unique: List[str] = []
+        for name in cleaned:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        self._values = tuple(unique)
+
+    @classmethod
+    def from_string(cls, operand_id: str, values: str) -> "RegisterOperand":
+        """Parse the config-file form: a space-separated register list."""
+        return cls(operand_id, values.split())
+
+    def choices(self) -> Sequence[str]:
+        return self._values
+
+
+class ImmediateOperand(Operand):
+    """An integer range ``min..max`` in steps of ``stride``.
+
+    Rendered values are plain decimal strings; the instruction format
+    string supplies any ISA-specific sigil (``#`` for ARM).
+    """
+
+    kind = "immediate"
+
+    def __init__(self, operand_id: str, minimum: int, maximum: int,
+                 stride: int = 1) -> None:
+        super().__init__(operand_id)
+        if stride <= 0:
+            raise ConfigError(
+                f"immediate operand {operand_id!r}: stride must be positive")
+        if maximum < minimum:
+            raise ConfigError(
+                f"immediate operand {operand_id!r}: max {maximum} < min {minimum}")
+        self.minimum = int(minimum)
+        self.maximum = int(maximum)
+        self.stride = int(stride)
+        self._values = tuple(
+            str(v) for v in range(self.minimum, self.maximum + 1, self.stride))
+
+    def choices(self) -> Sequence[str]:
+        return self._values
+
+
+class LabelOperand(Operand):
+    """A pool of assembler label tokens for branch targets.
+
+    Stress loops want *predictable, taken* branches (the paper reports
+    power viruses have very predictable branches), so the default pool
+    is the single token the ARM-like/x86-like assemblers understand as
+    "branch to the immediately following instruction".
+    """
+
+    kind = "label"
+
+    def __init__(self, operand_id: str, values: Sequence[str] = ("1f",)) -> None:
+        super().__init__(operand_id)
+        if not values:
+            raise ConfigError(
+                f"label operand {operand_id!r} needs at least one label")
+        self._values = tuple(values)
+
+    def choices(self) -> Sequence[str]:
+        return self._values

@@ -1,0 +1,96 @@
+"""Run outputs (paper Section III.D).
+
+The framework's output is the source code of every individual, one
+file each, named ``<generation>_<id>_<m1>_<m2>....txt`` where the
+``m``s are the individual's measurements formatted to two decimals —
+the paper's example is ``1_10_1.30_1.33.txt`` for individual 10 of
+population 1 with average/peak power 1.30/1.33 W.  Because the first
+measurement is by convention the fitness, sorting file names retrieves
+the fittest individual with basic UNIX commands.
+
+Each generation is additionally pickled as a population binary
+(:mod:`repro.core.population`), and the run directory keeps
+record-keeping copies of the configuration and template.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .config import RunConfig, config_to_xml
+from .individual import Individual
+from .population import Population
+
+__all__ = ["OutputRecorder", "individual_filename"]
+
+
+def individual_filename(individual: Individual) -> str:
+    """The paper's naming convention for an individual's source file."""
+    parts = [str(individual.generation), str(individual.uid)]
+    parts.extend(f"{m:.2f}" for m in individual.measurements)
+    return "_".join(parts) + ".txt"
+
+
+class OutputRecorder:
+    """Persists a GA run to a results directory.
+
+    Layout::
+
+        <results_dir>/
+          config.xml          copy of the run configuration
+          template.s          copy of the template source
+          individuals/        one source file per evaluated individual
+          populations/        one binary per generation
+    """
+
+    def __init__(self, results_dir: Union[str, Path]) -> None:
+        self.results_dir = Path(results_dir)
+        self.individuals_dir = self.results_dir / "individuals"
+        self.populations_dir = self.results_dir / "populations"
+        for directory in (self.results_dir, self.individuals_dir,
+                          self.populations_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def record_provenance(self, config: RunConfig) -> None:
+        """Save the configuration and template used for the run."""
+        (self.results_dir / "template.s").write_text(config.template_text)
+        (self.results_dir / "config.xml").write_text(
+            config_to_xml(config, template_filename="template.s",
+                          results_dir=str(self.results_dir)))
+
+    def record_individual(self, individual: Individual,
+                          source_text: str) -> Path:
+        """Write one individual's generated source file."""
+        path = self.individuals_dir / individual_filename(individual)
+        path.write_text(source_text)
+        return path
+
+    def record_population(self, population: Population) -> Path:
+        """Pickle one generation."""
+        return population.save(
+            self.populations_dir / f"population_{population.number}.bin")
+
+    def population_files(self) -> List[Path]:
+        """All saved generation binaries, in generation order."""
+        files = list(self.populations_dir.glob("population_*.bin"))
+        return sorted(files, key=lambda p: int(p.stem.split("_")[1]))
+
+    def fittest_individual_file(self) -> Optional[Path]:
+        """Quickly locate the fittest individual's source file using the
+        naming convention (highest first measurement wins), as the
+        paper suggests doing with UNIX tools."""
+        best_path: Optional[Path] = None
+        best_score = float("-inf")
+        for path in self.individuals_dir.glob("*.txt"):
+            fields = path.stem.split("_")
+            if len(fields) < 3:
+                continue
+            try:
+                score = float(fields[2])
+            except ValueError:
+                continue
+            if score > best_score:
+                best_score = score
+                best_path = path
+        return best_path

@@ -1,0 +1,70 @@
+"""Template source files (paper Section III.B.2).
+
+The template is an assembly source file with an empty loop body marked
+by the string ``#loop_code``.  Before compiling an individual, the
+framework removes the marker and prints the individual's instruction
+sequence starting from that line.  Everything else in the template —
+register/memory initialisation before the loop, fixed padding inside
+the loop, the loop back-branch — is preserved verbatim across all
+individuals.
+
+The paper stresses that register initialisation matters for power, and
+that checkerboard patterns (``0xAAAAAAAA``) maximise bit switching;
+the stock templates shipped with :mod:`repro.isa.catalogs` initialise
+registers that way.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from .errors import TemplateError
+
+__all__ = ["Template", "LOOP_MARKER"]
+
+LOOP_MARKER = "#loop_code"
+
+
+class Template:
+    """An assembly template with a ``#loop_code`` insertion point."""
+
+    def __init__(self, text: str, name: str = "<inline>") -> None:
+        self.name = name
+        self.text = text
+        marker_count = _count_marker_lines(text)
+        if marker_count == 0:
+            raise TemplateError(
+                f"template {name!r} does not contain the {LOOP_MARKER!r} "
+                "marker line")
+        if marker_count > 1:
+            raise TemplateError(
+                f"template {name!r} contains {marker_count} "
+                f"{LOOP_MARKER!r} markers; exactly one is required")
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "Template":
+        path = Path(path)
+        if not path.exists():
+            raise TemplateError(f"template file {path} does not exist")
+        return cls(path.read_text(), name=str(path))
+
+    def instantiate(self, loop_body: str) -> str:
+        """Replace the marker line with ``loop_body``.
+
+        The marker's leading whitespace is applied to every body line so
+        generated sources keep the template's indentation style.
+        """
+        out_lines = []
+        for line in self.text.splitlines():
+            if line.strip() == LOOP_MARKER:
+                indent = line[:len(line) - len(line.lstrip())]
+                for body_line in loop_body.splitlines():
+                    out_lines.append(indent + body_line if body_line else "")
+            else:
+                out_lines.append(line)
+        return "\n".join(out_lines) + "\n"
+
+
+def _count_marker_lines(text: str) -> int:
+    return sum(1 for line in text.splitlines() if line.strip() == LOOP_MARKER)

@@ -1,0 +1,416 @@
+"""Microarchitecture descriptions and the four CPU presets of Table II.
+
+A :class:`MicroArch` bundles everything the substrate models need:
+
+* **timing** — issue width, in-order vs out-of-order scheduling window,
+  functional-unit port groups, per-group latencies and pipelining;
+* **power** — per-group energy-per-instruction (EPI) in picojoules, a
+  per-cycle base (clock tree) energy, a per-window-slot occupancy energy
+  (the "issue queue and dependency tracking logic" the paper credits for
+  the power virus's temperature), static and uncore power;
+* **thermal** — ambient temperature, junction-to-ambient thermal
+  resistance and time constant for the first-order RC model;
+* **PDN** — series R/L and die capacitance for the second-order
+  power-delivery model whose first resonance dI/dt viruses must hit.
+
+The presets are *behavioural stand-ins*, not datasheet models: their
+numbers are chosen so the qualitative landscape matches what the paper
+reports for each platform (see DESIGN.md).  In particular:
+
+* ``cortex_a15`` — wide OOO core; float/SIMD ops carry the largest EPI
+  so power viruses go float/SIMD-heavy (Table III row 1).
+* ``cortex_a7`` — narrow in-order core with a single FP port, a cheap
+  folded-branch port and comparatively expensive fetch/branch energy,
+  so stressing it needs branch-rich mixes (Table III row 2).
+* ``xgene2`` — server core where memory instructions are the most
+  energetic per slot and long-latency ops keep the window occupied,
+  reproducing the power-vs-IPC virus trade-off of Table IV.
+* ``athlon_x4`` — desktop x86 with a pronounced PDN resonance at
+  ~100 MHz for the dI/dt experiments of Figures 8/9.
+* ``cortex_a57`` — the dual-core 28 nm cluster of the authors' own
+  power-integrity studies (paper references [11], [12] and [22]); not
+  part of Table II's evaluation but the platform GeST served in
+  industry, provided for experimentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..core.errors import ConfigError
+from ..isa.model import InstrClass
+
+__all__ = ["PDNParams", "ThermalParams", "MicroArch", "PRESETS",
+           "microarch_for", "preset_names"]
+
+
+@dataclass(frozen=True)
+class PDNParams:
+    """Series-RLC power delivery network parameters.
+
+    The die sees ``v(t)`` across the decoupling capacitance ``c_f``;
+    board inductance ``l_h`` and loop resistance ``r_ohm`` connect it to
+    the voltage regulator.  First-order resonance sits at
+    ``1/(2*pi*sqrt(LC))`` with quality factor ``sqrt(L/C)/R``.
+    """
+
+    r_ohm: float
+    l_h: float
+    c_f: float
+
+    @property
+    def resonance_hz(self) -> float:
+        import math
+        return 1.0 / (2.0 * math.pi * math.sqrt(self.l_h * self.c_f))
+
+    @property
+    def q_factor(self) -> float:
+        import math
+        return math.sqrt(self.l_h / self.c_f) / self.r_ohm
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """First-order RC thermal model parameters."""
+
+    t_ambient_c: float
+    r_th_c_per_w: float     # junction-to-ambient thermal resistance
+    tau_s: float            # thermal time constant
+
+    def steady_state_c(self, power_w: float) -> float:
+        return self.t_ambient_c + self.r_th_c_per_w * power_w
+
+    def transient_c(self, power_w: float, t_s: float) -> float:
+        import math
+        rise = self.r_th_c_per_w * power_w
+        return self.t_ambient_c + rise * (1.0 - math.exp(-t_s / self.tau_s))
+
+
+#: Fallback latency (cycles) per instruction class when a group has no
+#: explicit entry in ``MicroArch.latency``.
+_CLASS_DEFAULT_LATENCY = {
+    InstrClass.INT_SHORT: 1,
+    InstrClass.INT_LONG: 4,
+    InstrClass.FLOAT: 4,
+    InstrClass.SIMD: 4,
+    InstrClass.MEM_LOAD: 3,
+    InstrClass.MEM_STORE: 1,
+    InstrClass.BRANCH: 1,
+    InstrClass.NOP: 1,
+}
+
+#: Fallback port-group per instruction class.
+_CLASS_DEFAULT_PORT = {
+    InstrClass.INT_SHORT: "int",
+    InstrClass.INT_LONG: "int",
+    InstrClass.FLOAT: "fp",
+    InstrClass.SIMD: "fp",
+    InstrClass.MEM_LOAD: "mem",
+    InstrClass.MEM_STORE: "mem",
+    InstrClass.BRANCH: "br",
+    InstrClass.NOP: "int",
+}
+
+#: Fallback EPI (pJ) per class when a group has no explicit entry.
+_CLASS_DEFAULT_EPI = {
+    InstrClass.INT_SHORT: 30.0,
+    InstrClass.INT_LONG: 80.0,
+    InstrClass.FLOAT: 110.0,
+    InstrClass.SIMD: 160.0,
+    InstrClass.MEM_LOAD: 100.0,
+    InstrClass.MEM_STORE: 90.0,
+    InstrClass.BRANCH: 25.0,
+    InstrClass.NOP: 6.0,
+}
+
+
+@dataclass(frozen=True)
+class MicroArch:
+    """One simulated CPU."""
+
+    name: str
+    isa: str                       # 'arm' or 'x86' — selects the assembler
+    frequency_hz: float
+    core_count: int
+    in_order: bool
+    issue_width: int
+    window_size: int
+    ports: Dict[str, int] = field(default_factory=dict)
+    port_of: Dict[str, str] = field(default_factory=dict)    # group → port
+    latency: Dict[str, int] = field(default_factory=dict)    # group → cycles
+    unpipelined: frozenset = frozenset()                     # groups
+    epi_pj: Dict[str, float] = field(default_factory=dict)   # group → pJ
+    base_cycle_pj: float = 20.0
+    window_slot_pj: float = 0.8
+    static_power_w: float = 0.2
+    uncore_power_w: float = 0.5
+    #: Energy per shared-memory access routed over the interconnect
+    #: (NoC + LLC bank).  Zero disables shared-memory power modelling;
+    #: the multi-core server preset sets it, reproducing the MAMPO
+    #: observation the paper discusses in Section IV (shared accesses
+    #: engage the NoC, a large contributor on many-core chips).
+    noc_epi_pj: float = 0.0
+    vdd_nominal: float = 1.0
+    max_ipc: float = 2.0
+    thermal: ThermalParams = ThermalParams(25.0, 10.0, 8.0)
+    pdn: PDNParams = PDNParams(2e-3, 8e-12, 3.2e-7)
+
+    # -- lookup helpers used by the pipeline/power models -------------------
+
+    def latency_of(self, group: str, iclass: InstrClass) -> int:
+        value = self.latency.get(group)
+        if value is None:
+            value = _CLASS_DEFAULT_LATENCY[iclass]
+        return value
+
+    def port_group_of(self, group: str, iclass: InstrClass) -> str:
+        port = self.port_of.get(group)
+        if port is None:
+            port = _CLASS_DEFAULT_PORT[iclass]
+        if port not in self.ports:
+            raise ConfigError(
+                f"{self.name}: port group {port!r} (for {group!r}) has no "
+                f"port count configured")
+        return port
+
+    def epi_of(self, group: str, iclass: InstrClass) -> float:
+        value = self.epi_pj.get(group)
+        if value is None:
+            value = _CLASS_DEFAULT_EPI[iclass]
+        return value
+
+    def initiation_interval(self, group: str, iclass: InstrClass) -> int:
+        if group in self.unpipelined:
+            return self.latency_of(group, iclass)
+        return 1
+
+    def with_overrides(self, **kwargs) -> "MicroArch":
+        """A copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        if self.issue_width < 1:
+            raise ConfigError(f"{self.name}: issue width must be >= 1")
+        if self.window_size < self.issue_width:
+            raise ConfigError(
+                f"{self.name}: window must be at least the issue width")
+        if self.frequency_hz <= 0:
+            raise ConfigError(f"{self.name}: frequency must be positive")
+        if self.core_count < 1:
+            raise ConfigError(f"{self.name}: core count must be >= 1")
+        if not self.ports:
+            raise ConfigError(f"{self.name}: no port groups configured")
+
+
+# ---------------------------------------------------------------------------
+# Presets (Table II stand-ins)
+# ---------------------------------------------------------------------------
+
+_CORTEX_A15 = MicroArch(
+    name="cortex_a15",
+    isa="arm",
+    frequency_hz=1.2e9,
+    core_count=2,
+    in_order=False,
+    issue_width=3,
+    window_size=40,
+    ports={"int": 2, "fp": 2, "mem": 2, "br": 1},
+    port_of={"alu": "int", "shift": "int", "mul": "int", "div": "int",
+             "fadd": "fp", "fmul": "fp", "fdiv": "fp", "fma": "fp",
+             "vadd": "fp", "vmul": "fp",
+             "load": "mem", "load_pair": "mem",
+             "store": "mem", "store_pair": "mem",
+             "branch": "br", "nop": "int"},
+    latency={"alu": 1, "shift": 1, "mul": 4, "div": 19,
+             "fadd": 5, "fmul": 5, "fdiv": 18, "fma": 9,
+             "vadd": 3, "vmul": 4,
+             "load": 4, "load_pair": 5, "store": 1, "store_pair": 2,
+             "branch": 1, "nop": 1},
+    unpipelined=frozenset({"div", "fdiv"}),
+    epi_pj={"alu": 35.0, "shift": 32.0, "mul": 95.0, "div": 260.0,
+            "fadd": 130.0, "fmul": 150.0, "fdiv": 300.0, "fma": 225.0,
+            "vadd": 170.0, "vmul": 185.0,
+            "load": 125.0, "load_pair": 185.0,
+            "store": 110.0, "store_pair": 160.0,
+            "branch": 28.0, "nop": 8.0},
+    base_cycle_pj=70.0,
+    window_slot_pj=0.9,
+    static_power_w=0.30,
+    uncore_power_w=0.25,
+    vdd_nominal=1.05,
+    max_ipc=3.0,
+    thermal=ThermalParams(t_ambient_c=28.0, r_th_c_per_w=18.0, tau_s=1.8),
+    pdn=PDNParams(r_ohm=3e-3, l_h=12e-12, c_f=2.1e-7),
+)
+
+_CORTEX_A7 = MicroArch(
+    name="cortex_a7",
+    isa="arm",
+    frequency_hz=1.0e9,
+    core_count=3,
+    in_order=True,
+    issue_width=2,
+    window_size=4,
+    ports={"int": 2, "fp": 1, "mem": 1, "br": 1},
+    port_of={"alu": "int", "shift": "int", "mul": "int", "div": "int",
+             "fadd": "fp", "fmul": "fp", "fdiv": "fp", "fma": "fp",
+             "vadd": "fp", "vmul": "fp",
+             "load": "mem", "load_pair": "mem",
+             "store": "mem", "store_pair": "mem",
+             "branch": "br", "nop": "int"},
+    latency={"alu": 1, "shift": 1, "mul": 3, "div": 10,
+             "fadd": 4, "fmul": 4, "fdiv": 14, "fma": 8,
+             "vadd": 4, "vmul": 4,
+             "load": 3, "load_pair": 4, "store": 1, "store_pair": 2,
+             "branch": 1, "nop": 1},
+    unpipelined=frozenset({"div", "fdiv", "fma"}),
+    epi_pj={"alu": 22.0, "shift": 20.0, "mul": 55.0, "div": 120.0,
+            "fadd": 62.0, "fmul": 70.0, "fdiv": 140.0, "fma": 105.0,
+            "vadd": 72.0, "vmul": 78.0,
+            "load": 48.0, "load_pair": 68.0,
+            "store": 44.0, "store_pair": 58.0,
+            "branch": 55.0, "nop": 4.0},
+    base_cycle_pj=22.0,
+    window_slot_pj=0.3,
+    static_power_w=0.08,
+    uncore_power_w=0.10,
+    vdd_nominal=1.0,
+    max_ipc=2.0,
+    thermal=ThermalParams(t_ambient_c=28.0, r_th_c_per_w=30.0, tau_s=1.5),
+    pdn=PDNParams(r_ohm=4e-3, l_h=15e-12, c_f=1.7e-7),
+)
+
+_XGENE2 = MicroArch(
+    name="xgene2",
+    isa="arm",
+    frequency_hz=2.4e9,
+    core_count=8,
+    in_order=False,
+    issue_width=4,
+    window_size=48,
+    ports={"int": 2, "fp": 2, "mem": 2, "br": 1},
+    port_of={"alu": "int", "shift": "int", "mul": "int", "div": "int",
+             "fadd": "fp", "fmul": "fp", "fdiv": "fp", "fma": "fp",
+             "vadd": "fp", "vmul": "fp",
+             "load": "mem", "load_pair": "mem",
+             "store": "mem", "store_pair": "mem",
+             "branch": "br", "nop": "int"},
+    latency={"alu": 1, "shift": 1, "mul": 4, "div": 16,
+             "fadd": 4, "fmul": 5, "fdiv": 16, "fma": 8,
+             "vadd": 3, "vmul": 4,
+             "load": 4, "load_pair": 5, "store": 1, "store_pair": 2,
+             "branch": 1, "nop": 1},
+    unpipelined=frozenset({"div", "fdiv"}),
+    epi_pj={"alu": 55.0, "shift": 50.0, "mul": 165.0, "div": 1450.0,
+            "fadd": 170.0, "fmul": 190.0, "fdiv": 1550.0, "fma": 270.0,
+            "vadd": 200.0, "vmul": 215.0,
+            "load": 260.0, "load_pair": 390.0,
+            "store": 240.0, "store_pair": 350.0,
+            "branch": 45.0, "nop": 10.0},
+    base_cycle_pj=120.0,
+    window_slot_pj=2.4,
+    static_power_w=0.9,
+    uncore_power_w=4.0,
+    noc_epi_pj=340.0,
+    vdd_nominal=0.95,
+    max_ipc=4.0,
+    thermal=ThermalParams(t_ambient_c=30.0, r_th_c_per_w=1.6, tau_s=2.2),
+    pdn=PDNParams(r_ohm=1.5e-3, l_h=9e-12, c_f=2.8e-7),
+)
+
+_ATHLON_X4 = MicroArch(
+    name="athlon_x4",
+    isa="x86",
+    frequency_hz=3.1e9,
+    core_count=4,
+    in_order=False,
+    issue_width=3,
+    window_size=42,
+    ports={"int": 3, "fp": 2, "mem": 2, "br": 1},
+    port_of={"alu": "int", "shift": "int", "mul": "int", "div": "int",
+             "fadd": "fp", "fmul": "fp", "fdiv": "fp", "fma": "fp",
+             "vadd": "fp", "vmul": "fp",
+             "load": "mem", "store": "mem",
+             "branch": "br", "nop": "int"},
+    latency={"alu": 1, "shift": 1, "mul": 3, "div": 22,
+             "fadd": 4, "fmul": 4, "fdiv": 20, "fma": 5,
+             "vadd": 3, "vmul": 4,
+             "load": 3, "store": 1, "branch": 1, "nop": 1},
+    unpipelined=frozenset({"div", "fdiv"}),
+    epi_pj={"alu": 420.0, "shift": 400.0, "mul": 900.0, "div": 2600.0,
+            "fadd": 1500.0, "fmul": 1700.0, "fdiv": 3400.0, "fma": 2300.0,
+            "vadd": 2100.0, "vmul": 2300.0,
+            "load": 1300.0, "store": 1200.0,
+            "branch": 350.0, "nop": 60.0},
+    base_cycle_pj=800.0,
+    window_slot_pj=9.0,
+    static_power_w=4.5,
+    uncore_power_w=9.0,
+    vdd_nominal=1.35,
+    max_ipc=3.0,
+    thermal=ThermalParams(t_ambient_c=30.0, r_th_c_per_w=0.45, tau_s=2.5),
+    # ~100 MHz first-order resonance, Q ≈ 4 — the knee the dI/dt GA hunts.
+    pdn=PDNParams(r_ohm=1.8e-3, l_h=6e-12, c_f=4.22e-7),
+)
+
+_CORTEX_A57 = MicroArch(
+    name="cortex_a57",
+    isa="arm",
+    frequency_hz=1.8e9,
+    core_count=2,
+    in_order=False,
+    issue_width=3,
+    window_size=44,
+    ports={"int": 2, "fp": 2, "mem": 2, "br": 1},
+    port_of={"alu": "int", "shift": "int", "mul": "int", "div": "int",
+             "fadd": "fp", "fmul": "fp", "fdiv": "fp", "fma": "fp",
+             "vadd": "fp", "vmul": "fp",
+             "load": "mem", "load_pair": "mem",
+             "store": "mem", "store_pair": "mem",
+             "branch": "br", "nop": "int"},
+    latency={"alu": 1, "shift": 1, "mul": 3, "div": 18,
+             "fadd": 5, "fmul": 5, "fdiv": 17, "fma": 9,
+             "vadd": 3, "vmul": 4,
+             "load": 4, "load_pair": 5, "store": 1, "store_pair": 2,
+             "branch": 1, "nop": 1},
+    unpipelined=frozenset({"div", "fdiv"}),
+    epi_pj={"alu": 45.0, "shift": 42.0, "mul": 110.0, "div": 330.0,
+            "fadd": 150.0, "fmul": 175.0, "fdiv": 380.0, "fma": 260.0,
+            "vadd": 195.0, "vmul": 215.0,
+            "load": 150.0, "load_pair": 220.0,
+            "store": 130.0, "store_pair": 190.0,
+            "branch": 32.0, "nop": 9.0},
+    base_cycle_pj=85.0,
+    window_slot_pj=1.1,
+    static_power_w=0.40,
+    uncore_power_w=0.35,
+    vdd_nominal=0.90,
+    max_ipc=3.0,
+    thermal=ThermalParams(t_ambient_c=28.0, r_th_c_per_w=12.0, tau_s=2.0),
+    # The dual-core A57 cluster of the authors' power-integrity studies
+    # (paper refs [11][12][22]) — its measured PDN had a pronounced
+    # first-order resonance around 100 MHz; the preset places it there.
+    pdn=PDNParams(r_ohm=2.5e-3, l_h=9e-12, c_f=2.8e-7),
+)
+
+PRESETS: Dict[str, MicroArch] = {
+    arch.name: arch
+    for arch in (_CORTEX_A15, _CORTEX_A7, _XGENE2, _ATHLON_X4,
+                 _CORTEX_A57)
+}
+
+
+def microarch_for(name: str) -> MicroArch:
+    """Look up a preset by name (``cortex_a15``, ``cortex_a7``,
+    ``xgene2``, ``athlon_x4``)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown microarchitecture {name!r}; "
+            f"available: {sorted(PRESETS)}") from None
+
+
+def preset_names() -> tuple:
+    return tuple(sorted(PRESETS))

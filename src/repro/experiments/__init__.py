@@ -1,0 +1,47 @@
+"""Per-figure/table experiment drivers (see DESIGN.md's index)."""
+
+from .common import (GAScale, MEASUREMENTS, VirusResult, clear_virus_cache,
+                     evolve_virus, make_engine, make_machine,
+                     score_baselines)
+from .abstract_comparison import (AbstractComparisonResult,
+                                  abstract_comparison)
+from .epi_profile import (DEFAULT_OPCODES, EpiEntry, EpiProfile,
+                          characterize_epi)
+from .instruction_order import (OrderSensitivityResult,
+                                instruction_order_experiment)
+from .shared_memory import (SHARED_SEED, SharedMemoryResult,
+                            shared_memory_experiment)
+from .llc_stress import (CACHE_SEED, LlcStressResult, cache_machine,
+                         evolve_llc_virus, llc_stress_experiment)
+from .didt_virus import (DIDT_SEED, VoltageNoiseFigureResult,
+                         didt_loop_length, didt_scale, figure8)
+from .power_virus import (A15_SEED, A7_SEED, PowerFigureResult, figure5,
+                          figure6, run_power_figure)
+from .runtime import RuntimeEstimate, estimate_runtime
+from .simple_virus import (Table4Result, XGENE_SIMPLE_SEED,
+                           evolve_simple_virus, table4)
+from .table3 import Table3Result, table3
+from .temperature_virus import (TemperatureFigureResult, XGENE_IPC_SEED,
+                                XGENE_SCALE, XGENE_TEMP_SEED, figure7)
+from .vmin_experiment import VminFigureResult, figure9
+
+__all__ = [
+    "GAScale", "MEASUREMENTS", "VirusResult", "clear_virus_cache",
+    "evolve_virus", "make_engine", "make_machine", "score_baselines",
+    "AbstractComparisonResult", "abstract_comparison",
+    "DEFAULT_OPCODES", "EpiEntry", "EpiProfile", "characterize_epi",
+    "OrderSensitivityResult", "instruction_order_experiment",
+    "SHARED_SEED", "SharedMemoryResult", "shared_memory_experiment",
+    "CACHE_SEED", "LlcStressResult", "cache_machine", "evolve_llc_virus",
+    "llc_stress_experiment",
+    "DIDT_SEED", "VoltageNoiseFigureResult", "didt_loop_length",
+    "didt_scale", "figure8",
+    "A15_SEED", "A7_SEED", "PowerFigureResult", "figure5", "figure6",
+    "run_power_figure",
+    "RuntimeEstimate", "estimate_runtime",
+    "Table4Result", "XGENE_SIMPLE_SEED", "evolve_simple_virus", "table4",
+    "Table3Result", "table3",
+    "TemperatureFigureResult", "XGENE_IPC_SEED", "XGENE_SCALE",
+    "XGENE_TEMP_SEED", "figure7",
+    "VminFigureResult", "figure9",
+]

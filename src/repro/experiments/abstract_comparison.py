@@ -1,0 +1,88 @@
+"""Instruction-level vs abstract-workload GA (paper Section VII).
+
+The paper's Table V discussion argues that instruction-level
+optimisation (GeST's choice) beats abstract-workload models because
+the abstract model "fails in optimizing the instruction order and the
+instruction opcodes simply because these parameters are out of GA
+control".  This experiment runs both framework styles against the same
+platform, measurement, fitness and evaluation budget and compares the
+best power each finds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..abstractmodel.engine import AbstractEngine, AbstractIndividual
+from ..cpu.machine import SimulatedMachine
+from ..cpu.target import SimulatedTarget
+from ..fitness.default_fitness import DefaultFitness
+from ..isa.catalogs import arm_template
+from ..measurement.power import PowerMeasurement
+from .common import GAScale, VirusResult, evolve_virus
+
+__all__ = ["AbstractComparisonResult", "abstract_comparison"]
+
+ABSTRACT_SEED = 61
+
+
+@dataclass
+class AbstractComparisonResult:
+    """Same budget, two framework styles."""
+
+    instruction_level: VirusResult
+    abstract_best: AbstractIndividual
+    abstract_series: List[float]
+
+    @property
+    def instruction_level_power_w(self) -> float:
+        return self.instruction_level.fitness
+
+    @property
+    def abstract_power_w(self) -> float:
+        return self.abstract_best.fitness
+
+    @property
+    def advantage(self) -> float:
+        """Instruction-level over abstract (>1 supports the paper)."""
+        return self.instruction_level_power_w / self.abstract_power_w
+
+    def render(self) -> str:
+        return (
+            "instruction-level vs abstract-workload GA "
+            "(same platform, budget, measurement):\n"
+            f"  instruction-level best: "
+            f"{self.instruction_level_power_w:.3f} W (single core)\n"
+            f"  abstract-model best:    "
+            f"{self.abstract_power_w:.3f} W\n"
+            f"  advantage:              x{self.advantage:.3f}\n"
+            f"  winning abstract profile: "
+            f"{self.abstract_best.profile.describe()}")
+
+
+def abstract_comparison(platform: str = "cortex_a15",
+                        seed: int = ABSTRACT_SEED,
+                        scale: Optional[GAScale] = None
+                        ) -> AbstractComparisonResult:
+    """Run both searches with identical evaluation budgets."""
+    scale = scale or GAScale(population_size=20, generations=25)
+
+    instruction_level = evolve_virus(platform, "power", seed, scale=scale)
+
+    machine = SimulatedMachine(platform, seed=seed)
+    target = SimulatedTarget(machine)
+    target.connect()
+    abstract = AbstractEngine(
+        PowerMeasurement(target, {"samples": str(scale.samples)}),
+        DefaultFitness(),
+        template_text=arm_template(),
+        loop_size=scale.individual_size,
+        population_size=scale.population_size,
+        generations=scale.generations,
+        seed=seed)
+    best = abstract.run()
+    return AbstractComparisonResult(
+        instruction_level=instruction_level,
+        abstract_best=best,
+        abstract_series=abstract.best_fitness_series())

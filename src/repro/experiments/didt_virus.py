@@ -1,0 +1,97 @@
+"""Figure 8: dI/dt voltage-noise virus on the AMD Athlon X4.
+
+The GA maximises the oscilloscope's peak-to-peak die voltage.  The
+individual size follows the paper's rule of thumb::
+
+    loop_length = IPC × f_clk / f_resonance,  IPC ≈ MAX_THEORETICAL_IPC / 2
+
+so that one loop iteration spans one PDN resonance period — the GA then
+fine-tunes the instruction order to shape low/high current phases at
+that frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.reports import bar_chart, figure_rows
+from ..cpu.machine import SimulatedMachine
+from ..workloads.library import FIGURE_BASELINES
+from .common import GAScale, VirusResult, evolve_virus, make_machine, \
+    score_baselines
+
+__all__ = ["didt_loop_length", "DIDT_SEED", "didt_scale",
+           "VoltageNoiseFigureResult", "figure8"]
+
+DIDT_SEED = 31
+
+
+def didt_loop_length(machine: SimulatedMachine,
+                     ipc: Optional[float] = None) -> int:
+    """The paper's loop-length rule of thumb for dI/dt searches."""
+    if ipc is None:
+        ipc = machine.arch.max_ipc / 2.0
+    return machine.pdn.resonant_loop_length(ipc)
+
+
+def didt_scale(machine: Optional[SimulatedMachine] = None,
+               population_size: int = 24,
+               generations: int = 30) -> GAScale:
+    """A GAScale with the resonance-derived individual size and the
+    matching ~1-mutation-per-individual rate (paper Table I discussion:
+    2% at 50 instructions, 8% at 15)."""
+    machine = machine or make_machine("athlon_x4")
+    size = didt_loop_length(machine)
+    return GAScale(population_size=population_size,
+                   generations=generations,
+                   individual_size=size,
+                   mutation_rate=max(0.02, round(1.0 / size, 4)))
+
+
+@dataclass
+class VoltageNoiseFigureResult:
+    """Figure 8: max−min die voltage per workload (volts)."""
+
+    virus: VirusResult
+    peak_to_peak_v: Dict[str, float] = field(default_factory=dict)
+    #: Average power per workload — evidence for the paper's argument
+    #: that high-power workloads are not high-noise workloads.
+    avg_power_w: Dict[str, float] = field(default_factory=dict)
+
+    def rows(self) -> List[Tuple[str, float]]:
+        return figure_rows(self.peak_to_peak_v)
+
+    def render(self) -> str:
+        rows = [(name, value * 1000.0) for name, value in self.rows()]
+        return bar_chart(
+            rows,
+            title="AMD Athlon max-min voltage noise (paper Figure 8)",
+            unit="mV")
+
+    def virus_margin(self) -> float:
+        """Virus peak-to-peak over the best non-virus workload."""
+        others = [v for k, v in self.peak_to_peak_v.items()
+                  if k != self.virus.name]
+        return self.peak_to_peak_v[self.virus.name] / max(others)
+
+
+def figure8(scale: Optional[GAScale] = None,
+            seed: int = DIDT_SEED) -> VoltageNoiseFigureResult:
+    """AMD Athlon voltage-noise results (paper Figure 8)."""
+    machine = make_machine("athlon_x4", seed=seed + 20_000)
+    scale = scale or didt_scale(machine)
+    virus = evolve_virus("athlon_x4", "didt", seed, scale=scale,
+                         name="didtVirus")
+
+    cores = machine.arch.core_count
+    run = machine.run_source(virus.source, cores=cores)
+    result = VoltageNoiseFigureResult(virus=virus)
+    result.peak_to_peak_v[virus.name] = run.peak_to_peak_v
+    result.avg_power_w[virus.name] = run.avg_power_w
+    for name, baseline in score_baselines(
+            "athlon_x4", FIGURE_BASELINES["fig8_voltage_noise"],
+            seed=seed).items():
+        result.peak_to_peak_v[name] = baseline.peak_to_peak_v
+        result.avg_power_w[name] = baseline.avg_power_w
+    return result

@@ -1,0 +1,157 @@
+"""Energy-per-instruction profiling (paper Section II).
+
+The paper lists "generat[ing] power-models and an energy-per-instruction
+(EPI) profile" among the established uses of targeted stress-tests,
+citing Bertran et al.'s automated micro-benchmark methodology [8].
+This experiment implements that methodology on the simulated targets:
+
+for each instruction definition in a catalog, build a homogeneous
+micro-benchmark (a loop of just that instruction, operands rotated for
+maximum independence), measure its power, subtract an empty-pipeline
+baseline and divide by the measured issue rate:
+
+``EPI ≈ (P_instr − P_baseline) / (IPC · f_clk)``
+
+On the simulated platforms the derived profile can be checked against
+the microarchitecture's configured EPI table — a closed-loop validation
+of the whole measure-and-divide methodology (the ranking must match;
+absolute values differ by the data-toggle factor and port contention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.errors import ConfigError
+from ..core.template import Template
+from ..cpu.machine import SimulatedMachine
+from ..isa.catalogs import arm_template
+from ..isa.model import InstrClass
+
+__all__ = ["EpiEntry", "EpiProfile", "characterize_epi",
+           "DEFAULT_OPCODES"]
+
+#: Homogeneous loop bodies per opcode: operands rotate registers so the
+#: loop is dependency-light and the unit's throughput binds.
+_KERNELS: Dict[str, List[str]] = {
+    "add": [f"add x{1 + i % 4}, x{1 + (i + 1) % 4 + 4 // 4}, x6"
+            for i in range(8)],
+    "mul": [f"mul x{1 + i % 4}, x5, x6" for i in range(8)],
+    "sdiv": [f"sdiv x{1 + i % 4}, x5, x6" for i in range(8)],
+    "fadd": [f"fadd v{i % 8}, v{8 + i % 8}, v{8 + (i + 3) % 8}"
+             for i in range(8)],
+    "fmul": [f"fmul v{i % 8}, v{8 + i % 8}, v{8 + (i + 3) % 8}"
+             for i in range(8)],
+    "vadd": [f"vadd v{i % 8}, v{8 + i % 8}, v{8 + (i + 3) % 8}"
+             for i in range(8)],
+    "vmul": [f"vmul v{i % 8}, v{8 + i % 8}, v{8 + (i + 3) % 8}"
+             for i in range(8)],
+    "ldr": [f"ldr x{7 + i % 3}, [x10, #{(i * 16) % 128}]"
+            for i in range(8)],
+    "str": [f"str x{1 + i % 4}, [x11, #{(i * 16) % 128}]"
+            for i in range(8)],
+    "nop": ["nop"] * 8,
+}
+
+DEFAULT_OPCODES = tuple(_KERNELS)
+
+#: Group name the derived figure is compared against in the preset's
+#: EPI table.
+_GROUP_OF = {"add": "alu", "mul": "mul", "sdiv": "div", "fadd": "fadd",
+             "fmul": "fmul", "vadd": "vadd", "vmul": "vmul",
+             "ldr": "load", "str": "store", "nop": "nop"}
+
+
+@dataclass
+class EpiEntry:
+    """One opcode's measured profile."""
+
+    opcode: str
+    measured_epi_pj: float
+    configured_epi_pj: float
+    ipc: float
+    power_w: float
+
+
+@dataclass
+class EpiProfile:
+    """The derived energy-per-instruction profile of one platform."""
+
+    platform: str
+    baseline_power_w: float
+    entries: Dict[str, EpiEntry] = field(default_factory=dict)
+
+    def ranked(self) -> List[EpiEntry]:
+        return sorted(self.entries.values(),
+                      key=lambda e: e.measured_epi_pj, reverse=True)
+
+    def rank_agreement(self) -> float:
+        """Kendall-style pairwise agreement between the measured and
+        configured EPI orderings (1.0 = identical order)."""
+        entries = list(self.entries.values())
+        agree = total = 0
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                a, b = entries[i], entries[j]
+                measured = a.measured_epi_pj - b.measured_epi_pj
+                configured = a.configured_epi_pj - b.configured_epi_pj
+                if configured == 0:
+                    continue
+                total += 1
+                if measured * configured > 0:
+                    agree += 1
+        return agree / total if total else 1.0
+
+    def render(self) -> str:
+        lines = [f"EPI profile of {self.platform} "
+                 f"(baseline {self.baseline_power_w:.3f} W):",
+                 f"{'opcode':8s} {'measured pJ':>12s} "
+                 f"{'configured pJ':>14s} {'IPC':>6s}"]
+        for entry in self.ranked():
+            lines.append(f"{entry.opcode:8s} "
+                         f"{entry.measured_epi_pj:12.1f} "
+                         f"{entry.configured_epi_pj:14.1f} "
+                         f"{entry.ipc:6.2f}")
+        return "\n".join(lines)
+
+
+def characterize_epi(platform: str = "cortex_a15",
+                     opcodes: Optional[List[str]] = None,
+                     seed: int = 13) -> EpiProfile:
+    """Derive an EPI profile via homogeneous micro-benchmarks."""
+    opcodes = list(opcodes) if opcodes is not None \
+        else list(DEFAULT_OPCODES)
+    unknown = [o for o in opcodes if o not in _KERNELS]
+    if unknown:
+        raise ConfigError(f"no micro-benchmark kernels for {unknown}")
+
+    machine = SimulatedMachine(platform, seed=seed)
+    template = Template(arm_template())
+    frequency = machine.arch.frequency_hz
+
+    # Baseline: pure NOPs approximate the empty pipeline's per-cycle
+    # power (clock tree, window, static) at full issue rate.
+    baseline = machine.run_source(
+        template.instantiate("\n".join(["nop"] * 8))).core_power_w
+
+    profile = EpiProfile(platform=machine.arch.name,
+                         baseline_power_w=baseline)
+    for opcode in opcodes:
+        source = template.instantiate("\n".join(_KERNELS[opcode]))
+        result = machine.run_source(source)
+        issue_rate = result.trace.ipc * frequency
+        measured = (result.core_power_w - baseline) / issue_rate * 1e12 \
+            if issue_rate > 0 else 0.0
+        group = _GROUP_OF[opcode]
+        iclass = (InstrClass.NOP if opcode == "nop"
+                  else InstrClass.INT_SHORT)   # class only for fallback
+        configured = machine.arch.epi_pj.get(
+            group, machine.arch.epi_of(group, iclass))
+        profile.entries[opcode] = EpiEntry(
+            opcode=opcode,
+            measured_epi_pj=max(0.0, measured),
+            configured_epi_pj=configured,
+            ipc=result.trace.ipc,
+            power_w=result.core_power_w)
+    return profile

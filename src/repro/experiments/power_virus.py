@@ -1,0 +1,113 @@
+"""Figures 5 and 6: bare-metal power viruses on Cortex-A15 / Cortex-A7.
+
+Each figure compares, normalised to coremark:
+
+* the GA power virus evolved *for* that CPU,
+* the GA power virus evolved for the *other* CPU (the paper's
+  cross-evaluation: "Cortex-A7 GA virus is not a good stress-test for
+  Cortex-A15 and Cortex-A15 virus is not a good stress-test for
+  Cortex-A7"),
+* the platform's manually-written stress test, and
+* the conventional bare-metal workloads coremark / imdct / fdct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.reports import bar_chart, figure_rows, normalize
+from ..workloads.library import FIGURE_BASELINES
+from .common import GAScale, VirusResult, evolve_virus, make_machine, \
+    score_baselines
+
+__all__ = ["PowerFigureResult", "run_power_figure", "figure5", "figure6"]
+
+#: Default GA seeds (chosen once; any seed reproduces the shapes).
+A15_SEED = 7
+A7_SEED = 9
+
+
+@dataclass
+class PowerFigureResult:
+    """One power figure: absolute watts, normalised rows, provenance."""
+
+    platform: str
+    native_virus: VirusResult
+    cross_virus: VirusResult
+    power_w: Dict[str, float] = field(default_factory=dict)
+    reference: str = "coremark"
+
+    @property
+    def normalized(self) -> Dict[str, float]:
+        return normalize(self.power_w, self.reference)
+
+    @property
+    def native_virus_label(self) -> str:
+        return f"GA_virus_{self.native_virus.platform}"
+
+    @property
+    def cross_virus_label(self) -> str:
+        return f"GA_virus_{self.cross_virus.platform}"
+
+    def rows(self) -> List[Tuple[str, float]]:
+        return figure_rows(self.power_w, reference=self.reference)
+
+    def render(self) -> str:
+        title = (f"{self.platform} power, normalised to "
+                 f"{self.reference} (paper Figure "
+                 f"{'5' if self.platform == 'cortex_a15' else '6'})")
+        return bar_chart(self.rows(), title=title, unit="x")
+
+    def virus_margin_over_manual(self) -> float:
+        """GA native virus power over the manual stress test (>1)."""
+        manual = [name for name in self.power_w if "manual" in name]
+        if not manual:
+            return float("nan")
+        return (self.power_w[self.native_virus_label]
+                / self.power_w[manual[0]])
+
+
+def run_power_figure(platform: str, cross_platform: str,
+                     baseline_names: List[str],
+                     seed: int, cross_seed: int,
+                     scale: Optional[GAScale] = None) -> PowerFigureResult:
+    """Evolve the native and cross viruses and score everything on
+    ``platform`` with one instance per core."""
+    scale = scale or GAScale()
+    native = evolve_virus(platform, "power", seed, scale=scale)
+    cross = evolve_virus(cross_platform, "power", cross_seed, scale=scale)
+
+    machine = make_machine(platform, seed=seed + 20_000)
+    cores = machine.arch.core_count
+    power: Dict[str, float] = {}
+    power[f"GA_virus_{platform}"] = machine.run_source(
+        native.source, cores=cores).avg_power_w
+    power[f"GA_virus_{cross_platform}"] = machine.run_source(
+        cross.source, cores=cores).avg_power_w
+    for name, run in score_baselines(platform, baseline_names,
+                                     seed=seed).items():
+        power[name] = run.avg_power_w
+
+    return PowerFigureResult(platform=platform, native_virus=native,
+                             cross_virus=cross, power_w=power)
+
+
+def figure5(scale: Optional[GAScale] = None,
+            seed: int = A15_SEED,
+            cross_seed: int = A7_SEED) -> PowerFigureResult:
+    """Cortex-A15 power results (paper Figure 5)."""
+    return run_power_figure(
+        "cortex_a15", "cortex_a7",
+        FIGURE_BASELINES["fig5_a15_power"],
+        seed=seed, cross_seed=cross_seed, scale=scale)
+
+
+def figure6(scale: Optional[GAScale] = None,
+            seed: int = A7_SEED,
+            cross_seed: int = A15_SEED) -> PowerFigureResult:
+    """Cortex-A7 power results (paper Figure 6)."""
+    return run_power_figure(
+        "cortex_a7", "cortex_a15",
+        FIGURE_BASELINES["fig6_a7_power"],
+        seed=seed, cross_seed=cross_seed, scale=scale)

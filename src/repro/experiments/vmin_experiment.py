@@ -1,0 +1,71 @@
+"""Figure 9: V_MIN characterisation on the AMD Athlon X4.
+
+Each workload (the dI/dt virus, Prime95, the AMD stability test, ...)
+is re-run at supply settings descending from nominal in 12.5 mV steps
+at the fixed 3.1 GHz clock; its V_MIN is the lowest passing setting.
+The dI/dt virus — deepest droop — must have the highest V_MIN, i.e. be
+the strictest stability test (the paper's headline Section VI claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.vmin import VminResult, characterize_vmin, vmin_table
+from ..workloads.library import FIGURE_BASELINES, workload
+from .common import GAScale, VirusResult, evolve_virus, make_machine
+from .didt_virus import DIDT_SEED, didt_scale
+
+__all__ = ["VminFigureResult", "figure9"]
+
+
+@dataclass
+class VminFigureResult:
+    """Figure 9: per-workload V_MIN."""
+
+    virus: VirusResult
+    results: Dict[str, VminResult] = field(default_factory=dict)
+
+    @property
+    def vmin_v(self) -> Dict[str, float]:
+        return {name: r.vmin_v for name, r in self.results.items()}
+
+    def ranked(self) -> List[VminResult]:
+        return sorted(self.results.values(), key=lambda r: r.vmin_v,
+                      reverse=True)
+
+    def render(self) -> str:
+        return ("AMD Athlon V_MIN at nominal 3.1 GHz "
+                "(paper Figure 9)\n" + vmin_table(list(self.results.values())))
+
+    def virus_is_strictest(self) -> bool:
+        ranked = self.ranked()
+        return bool(ranked) and ranked[0].workload == self.virus.name
+
+
+def figure9(scale: Optional[GAScale] = None,
+            seed: int = DIDT_SEED) -> VminFigureResult:
+    """AMD Athlon V_MIN results (paper Figure 9).
+
+    Reuses the Figure 8 virus (same seed/scale memoisation) so the two
+    benchmarks stay consistent.
+    """
+    machine = make_machine("athlon_x4", seed=seed + 30_000)
+    scale = scale or didt_scale(machine)
+    virus = evolve_virus("athlon_x4", "didt", seed, scale=scale,
+                         name="didtVirus")
+
+    result = VminFigureResult(virus=virus)
+    cores = machine.arch.core_count
+
+    program = machine.compile(virus.source, name=virus.name)
+    result.results[virus.name] = characterize_vmin(
+        machine, program, cores=cores, name=virus.name)
+
+    for name in FIGURE_BASELINES["fig9_vmin"]:
+        w = workload(name, machine.arch.isa)
+        program = machine.compile(w.source, name=name)
+        result.results[name] = characterize_vmin(
+            machine, program, cores=cores, name=name)
+    return result

@@ -1,0 +1,12 @@
+"""Fitness functions (paper Section III.C and Equation 1)."""
+
+from .complex_fitness import TemperatureSimplicityFitness
+from .default_fitness import DefaultFitness
+from .weighted import DroopOverPowerFitness, WeightedFitness
+
+__all__ = [
+    "DefaultFitness",
+    "TemperatureSimplicityFitness",
+    "DroopOverPowerFitness",
+    "WeightedFitness",
+]

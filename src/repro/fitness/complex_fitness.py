@@ -1,0 +1,72 @@
+"""Equation 1 of the paper: temperature + instruction-stream simplicity.
+
+``F = (M_T − I_T) / (MAX_T − I_T) · w_t + (T_I − U_I) / T_I · w_s``
+
+* the first part rewards high measured temperature, normalised to a
+  0–1 *temperature score* between the idle temperature ``I_T`` and a
+  maximum temperature ``MAX_T`` (from a previous GA run or a TJMAX-like
+  specification);
+* the second rewards using few unique instructions ``U_I`` out of the
+  individual's total ``T_I`` — 25 unique out of 50 scores 0.5, 15 out
+  of 50 scores 0.7, exactly the paper's worked examples.
+
+Both parts contribute equally with the default weights (0.5 each).
+The measured temperature is expected as the *first* measurement value
+(what :class:`~repro.measurement.temperature.TemperatureMeasurement`
+reports).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.errors import ConfigError, MeasurementError
+from ..core.individual import Individual
+from .default_fitness import DefaultFitness
+
+__all__ = ["TemperatureSimplicityFitness"]
+
+
+class TemperatureSimplicityFitness(DefaultFitness):
+    """The paper's complex multi-objective fitness (Equation 1)."""
+
+    def __init__(self, idle_temperature_c: float,
+                 max_temperature_c: float,
+                 temperature_weight: float = 0.5,
+                 simplicity_weight: float = 0.5) -> None:
+        if max_temperature_c <= idle_temperature_c:
+            raise ConfigError(
+                "max temperature must exceed idle temperature "
+                f"({max_temperature_c} <= {idle_temperature_c})")
+        if temperature_weight < 0 or simplicity_weight < 0:
+            raise ConfigError("fitness weights must be non-negative")
+        self.idle_temperature_c = idle_temperature_c
+        self.max_temperature_c = max_temperature_c
+        self.temperature_weight = temperature_weight
+        self.simplicity_weight = simplicity_weight
+
+    def temperature_score(self, measured_c: float) -> float:
+        """(M_T − I_T) / (MAX_T − I_T), clamped to [0, 1]."""
+        span = self.max_temperature_c - self.idle_temperature_c
+        score = (measured_c - self.idle_temperature_c) / span
+        return min(1.0, max(0.0, score))
+
+    def simplicity_score(self, individual: Individual) -> float:
+        """(T_I − U_I) / T_I — fewer unique opcodes is simpler."""
+        total = len(individual)
+        if total == 0:
+            return 0.0
+        unique = individual.unique_instruction_count()
+        return (total - unique) / total
+
+    def get_fitness(self, measurements: Sequence[float],
+                    individual: Individual) -> float:
+        if not measurements:
+            raise MeasurementError(
+                "cannot compute fitness from an empty measurement list")
+        return (self.temperature_score(measurements[0])
+                * self.temperature_weight
+                + self.simplicity_score(individual)
+                * self.simplicity_weight)
+
+    getFitness = get_fitness

@@ -1,0 +1,31 @@
+"""Default fitness (paper Section III.C).
+
+"The framework offers a default fitness class ``DefaultFitness.py``
+that simply uses the first measurement (in the list order) as the
+fitness function."  Custom fitness classes inherit from this one and
+override :meth:`get_fitness`; the engine loads them dynamically by
+dotted name from the main configuration file.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.errors import MeasurementError
+from ..core.individual import Individual
+
+__all__ = ["DefaultFitness"]
+
+
+class DefaultFitness:
+    """Fitness = first measurement value."""
+
+    def get_fitness(self, measurements: Sequence[float],
+                    individual: Individual) -> float:
+        if not measurements:
+            raise MeasurementError(
+                "cannot compute fitness from an empty measurement list")
+        return float(measurements[0])
+
+    # Method-name alias matching the original GeST API surface.
+    getFitness = get_fitness

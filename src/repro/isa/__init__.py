@@ -1,0 +1,33 @@
+"""ISA substrate: SimISA model, assemblers and stock GA catalogs."""
+
+from .arm import ArmAssembler, INT_REGISTERS, VEC_REGISTERS
+from .assembler import BaseAssembler, split_operands
+from .clike import clike_library, clike_template, compile_clike
+from .catalogs import (CHECKERBOARD_5, CHECKERBOARD_A,
+                       arm_cache_stress_library, arm_library,
+                       arm_shared_template,
+                       arm_template, library_for, template_for,
+                       write_stock_config, x86_library, x86_template)
+from .model import (FLAGS_REGISTER, DecodedInstruction, InstrClass, Program)
+from .x86 import GP_REGISTERS, X86Assembler, XMM_REGISTERS
+
+__all__ = [
+    "ArmAssembler", "INT_REGISTERS", "VEC_REGISTERS",
+    "BaseAssembler", "split_operands",
+    "CHECKERBOARD_5", "CHECKERBOARD_A",
+    "arm_cache_stress_library", "arm_library", "arm_shared_template",
+    "arm_template", "library_for", "template_for",
+    "write_stock_config", "x86_library", "x86_template",
+    "clike_library", "clike_template", "compile_clike",
+    "FLAGS_REGISTER", "DecodedInstruction", "InstrClass", "Program",
+    "GP_REGISTERS", "X86Assembler", "XMM_REGISTERS",
+]
+
+
+def assembler_for(isa: str) -> BaseAssembler:
+    """Assembler instance by ISA name (``arm`` or ``x86``)."""
+    if isa == "arm":
+        return ArmAssembler()
+    if isa == "x86":
+        return X86Assembler()
+    raise ValueError(f"unknown ISA {isa!r}; expected 'arm' or 'x86'")

@@ -1,0 +1,323 @@
+"""ARM-flavoured SimISA syntax front-end.
+
+Covers the instruction shapes used by the paper's ARM experiments
+(Cortex-A15, Cortex-A7, X-Gene2): three-operand integer ALU ops,
+multi-cycle integer multiply/divide, scalar float and SIMD vector ops,
+loads/stores with base+immediate addressing (including pair forms LDP/
+STP), compare/conditional branches and the ``b 1f`` / ``1:`` predictable
+branch idiom used inside GA loops.
+
+Register files: ``x0``–``x15`` integer, ``v0``–``v15`` vector/float.
+Immediates accept decimal and ``0x`` hex with an optional leading ``#``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import AssemblyError
+from .assembler import BaseAssembler
+from .model import (FLAGS_REGISTER, INT_REGISTER_COUNT, VEC_REGISTER_COUNT,
+                    DecodedInstruction, InstrClass)
+
+__all__ = ["ArmAssembler", "INT_REGISTERS", "VEC_REGISTERS"]
+
+INT_REGISTERS = tuple(f"x{i}" for i in range(INT_REGISTER_COUNT))
+VEC_REGISTERS = tuple(f"v{i}" for i in range(VEC_REGISTER_COUNT))
+
+_INT_SET = frozenset(INT_REGISTERS)
+_VEC_SET = frozenset(VEC_REGISTERS)
+
+Decoded = Tuple[DecodedInstruction, Optional[str]]
+
+
+def _parse_int_reg(token: str) -> str:
+    token = token.strip().lower()
+    if token not in _INT_SET:
+        raise AssemblyError(f"{token!r} is not an integer register")
+    return token
+
+
+def _parse_vec_reg(token: str) -> str:
+    token = token.strip().lower()
+    # Tolerate lane-qualified forms like v3.4s.
+    base = token.split(".")[0]
+    if base not in _VEC_SET:
+        raise AssemblyError(f"{token!r} is not a vector register")
+    return base
+
+
+def _parse_immediate(token: str) -> int:
+    token = token.strip()
+    if token.startswith("#"):
+        token = token[1:]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"{token!r} is not an immediate value") from None
+
+
+def _parse_mem(token: str) -> Tuple[str, int]:
+    """Parse ``[x10]`` or ``[x10, #8]`` into (base, offset)."""
+    token = token.strip()
+    if not (token.startswith("[") and token.endswith("]")):
+        raise AssemblyError(f"{token!r} is not a memory operand")
+    inner = token[1:-1].strip()
+    if "," in inner:
+        base_text, offset_text = inner.split(",", 1)
+        return _parse_int_reg(base_text), _parse_immediate(offset_text)
+    return _parse_int_reg(inner), 0
+
+
+def _expect(operands: List[str], count: int, opcode: str) -> None:
+    if len(operands) != count:
+        raise AssemblyError(
+            f"{opcode} expects {count} operands, got {len(operands)}")
+
+
+class ArmAssembler(BaseAssembler):
+    """Assembler for the ARM-flavoured syntax."""
+
+    syntax_name = "arm-like"
+
+    def __init__(self) -> None:
+        super().__init__()
+        h = self.handlers
+
+        for opcode in ("add", "sub", "and", "orr", "eor", "bic"):
+            h[opcode] = self._make_int3(opcode, "alu")
+        for opcode in ("lsl", "lsr", "asr", "ror"):
+            h[opcode] = self._make_int3(opcode, "shift")
+        h["mul"] = self._make_int3("mul", "mul", InstrClass.INT_LONG)
+        h["madd"] = self._make_mla("madd")
+        h["mla"] = self._make_mla("mla")
+        h["sdiv"] = self._make_int3("sdiv", "div", InstrClass.INT_LONG)
+        h["udiv"] = self._make_int3("udiv", "div", InstrClass.INT_LONG)
+        h["subs"] = self._subs
+        h["adds"] = self._adds
+        h["cmp"] = self._cmp
+        h["mov"] = self._mov
+        h["movk"] = self._movk
+
+        for opcode in ("fadd", "fsub"):
+            h[opcode] = self._make_vec3(opcode, "fadd", InstrClass.FLOAT)
+        h["fmul"] = self._make_vec3("fmul", "fmul", InstrClass.FLOAT)
+        h["fdiv"] = self._make_vec3("fdiv", "fdiv", InstrClass.FLOAT)
+        h["fmla"] = self._make_vfma("fmla", InstrClass.FLOAT)
+        h["fmov"] = self._fmov
+
+        for opcode in ("vadd", "vsub", "veor", "vorr", "vand"):
+            h[opcode] = self._make_vec3(opcode, "vadd", InstrClass.SIMD)
+        h["vmul"] = self._make_vec3("vmul", "vmul", InstrClass.SIMD)
+        h["vfma"] = self._make_vfma("vfma", InstrClass.SIMD)
+
+        h["ldr"] = self._ldr
+        h["str"] = self._str
+        h["ldp"] = self._ldp
+        h["stp"] = self._stp
+
+        h["b"] = self._branch_unconditional
+        for opcode in ("bne", "beq", "bgt", "blt", "bge", "ble"):
+            h[opcode] = self._make_cond_branch(opcode)
+        h["cbnz"] = self._make_reg_branch("cbnz")
+        h["cbz"] = self._make_reg_branch("cbz")
+
+        h["nop"] = self._nop
+
+    # -- integer ---------------------------------------------------------
+
+    def _make_int3(self, opcode: str, group: str,
+                   iclass: InstrClass = InstrClass.INT_SHORT):
+        def handler(operands: List[str]) -> Decoded:
+            _expect(operands, 3, opcode)
+            dst = _parse_int_reg(operands[0])
+            src1 = _parse_int_reg(operands[1])
+            imm = None
+            reads = [src1]
+            third = operands[2].strip()
+            if third.startswith("#") or third.lstrip("-").isdigit():
+                imm = _parse_immediate(third)
+            else:
+                reads.append(_parse_int_reg(third))
+            return DecodedInstruction(
+                opcode=opcode, iclass=iclass, group=group,
+                reads=tuple(reads), writes=(dst,), immediate=imm), None
+        return handler
+
+    def _make_mla(self, opcode: str):
+        def handler(operands: List[str]) -> Decoded:
+            _expect(operands, 4, opcode)
+            dst = _parse_int_reg(operands[0])
+            reads = tuple(_parse_int_reg(op) for op in operands[1:])
+            return DecodedInstruction(
+                opcode=opcode, iclass=InstrClass.INT_LONG, group="mul",
+                reads=reads, writes=(dst,)), None
+        return handler
+
+    def _subs(self, operands: List[str]) -> Decoded:
+        decoded, _ = self._make_int3("subs", "alu")(operands)
+        decoded.writes = decoded.writes + (FLAGS_REGISTER,)
+        return decoded, None
+
+    def _adds(self, operands: List[str]) -> Decoded:
+        decoded, _ = self._make_int3("adds", "alu")(operands)
+        decoded.writes = decoded.writes + (FLAGS_REGISTER,)
+        return decoded, None
+
+    def _cmp(self, operands: List[str]) -> Decoded:
+        _expect(operands, 2, "cmp")
+        src1 = _parse_int_reg(operands[0])
+        reads = [src1]
+        imm = None
+        second = operands[1].strip()
+        if second.startswith("#") or second.lstrip("-").isdigit():
+            imm = _parse_immediate(second)
+        else:
+            reads.append(_parse_int_reg(second))
+        return DecodedInstruction(
+            opcode="cmp", iclass=InstrClass.INT_SHORT, group="alu",
+            reads=tuple(reads), writes=(FLAGS_REGISTER,),
+            immediate=imm), None
+
+    def _mov(self, operands: List[str]) -> Decoded:
+        _expect(operands, 2, "mov")
+        dst = _parse_int_reg(operands[0])
+        second = operands[1].strip()
+        if second.startswith("#") or second.lstrip("-").isdigit() \
+                or second.lower().startswith("0x"):
+            imm = _parse_immediate(second)
+            return DecodedInstruction(
+                opcode="mov", iclass=InstrClass.INT_SHORT, group="alu",
+                reads=(), writes=(dst,), immediate=imm), None
+        src = _parse_int_reg(second)
+        return DecodedInstruction(
+            opcode="mov", iclass=InstrClass.INT_SHORT, group="alu",
+            reads=(src,), writes=(dst,)), None
+
+    def _movk(self, operands: List[str]) -> Decoded:
+        _expect(operands, 2, "movk")
+        dst = _parse_int_reg(operands[0])
+        imm = _parse_immediate(operands[1])
+        return DecodedInstruction(
+            opcode="movk", iclass=InstrClass.INT_SHORT, group="alu",
+            reads=(dst,), writes=(dst,), immediate=imm), None
+
+    # -- float / SIMD -------------------------------------------------------
+
+    def _make_vec3(self, opcode: str, group: str, iclass: InstrClass):
+        def handler(operands: List[str]) -> Decoded:
+            _expect(operands, 3, opcode)
+            dst = _parse_vec_reg(operands[0])
+            reads = tuple(_parse_vec_reg(op) for op in operands[1:])
+            return DecodedInstruction(
+                opcode=opcode, iclass=iclass, group=group,
+                reads=reads, writes=(dst,)), None
+        return handler
+
+    def _make_vfma(self, opcode: str, iclass: InstrClass):
+        def handler(operands: List[str]) -> Decoded:
+            _expect(operands, 3, opcode)
+            dst = _parse_vec_reg(operands[0])
+            srcs = tuple(_parse_vec_reg(op) for op in operands[1:])
+            # Fused multiply-accumulate also reads its destination.
+            return DecodedInstruction(
+                opcode=opcode, iclass=iclass, group="fma",
+                reads=srcs + (dst,), writes=(dst,)), None
+        return handler
+
+    def _fmov(self, operands: List[str]) -> Decoded:
+        _expect(operands, 2, "fmov")
+        dst = _parse_vec_reg(operands[0])
+        second = operands[1].strip()
+        if second.startswith("#") or second.lower().startswith("0x") \
+                or second.lstrip("-").isdigit():
+            imm = _parse_immediate(second)
+            return DecodedInstruction(
+                opcode="fmov", iclass=InstrClass.FLOAT, group="fadd",
+                reads=(), writes=(dst,), immediate=imm), None
+        if second.lower() in _INT_SET:
+            return DecodedInstruction(
+                opcode="fmov", iclass=InstrClass.FLOAT, group="fadd",
+                reads=(second.lower(),), writes=(dst,)), None
+        src = _parse_vec_reg(second)
+        return DecodedInstruction(
+            opcode="fmov", iclass=InstrClass.FLOAT, group="fadd",
+            reads=(src,), writes=(dst,)), None
+
+    # -- memory ------------------------------------------------------------
+
+    def _reg_any(self, token: str) -> str:
+        token = token.strip().lower()
+        if token in _INT_SET:
+            return token
+        return _parse_vec_reg(token)
+
+    def _ldr(self, operands: List[str]) -> Decoded:
+        _expect(operands, 2, "ldr")
+        dst = self._reg_any(operands[0])
+        base, offset = _parse_mem(operands[1])
+        return DecodedInstruction(
+            opcode="ldr", iclass=InstrClass.MEM_LOAD, group="load",
+            reads=(base,), writes=(dst,), mem_base=base,
+            mem_offset=offset), None
+
+    def _str(self, operands: List[str]) -> Decoded:
+        _expect(operands, 2, "str")
+        src = self._reg_any(operands[0])
+        base, offset = _parse_mem(operands[1])
+        return DecodedInstruction(
+            opcode="str", iclass=InstrClass.MEM_STORE, group="store",
+            reads=(src, base), writes=(), mem_base=base,
+            mem_offset=offset), None
+
+    def _ldp(self, operands: List[str]) -> Decoded:
+        _expect(operands, 3, "ldp")
+        dst1 = self._reg_any(operands[0])
+        dst2 = self._reg_any(operands[1])
+        if dst1 == dst2:
+            raise AssemblyError("ldp destinations must differ")
+        base, offset = _parse_mem(operands[2])
+        return DecodedInstruction(
+            opcode="ldp", iclass=InstrClass.MEM_LOAD, group="load_pair",
+            reads=(base,), writes=(dst1, dst2), mem_base=base,
+            mem_offset=offset), None
+
+    def _stp(self, operands: List[str]) -> Decoded:
+        _expect(operands, 3, "stp")
+        src1 = self._reg_any(operands[0])
+        src2 = self._reg_any(operands[1])
+        base, offset = _parse_mem(operands[2])
+        return DecodedInstruction(
+            opcode="stp", iclass=InstrClass.MEM_STORE, group="store_pair",
+            reads=(src1, src2, base), writes=(), mem_base=base,
+            mem_offset=offset), None
+
+    # -- branches ------------------------------------------------------------
+
+    def _branch_unconditional(self, operands: List[str]) -> Decoded:
+        _expect(operands, 1, "b")
+        return DecodedInstruction(
+            opcode="b", iclass=InstrClass.BRANCH, group="branch",
+            reads=()), operands[0].strip()
+
+    def _make_cond_branch(self, opcode: str):
+        def handler(operands: List[str]) -> Decoded:
+            _expect(operands, 1, opcode)
+            return DecodedInstruction(
+                opcode=opcode, iclass=InstrClass.BRANCH, group="branch",
+                reads=(FLAGS_REGISTER,)), operands[0].strip()
+        return handler
+
+    def _make_reg_branch(self, opcode: str):
+        def handler(operands: List[str]) -> Decoded:
+            _expect(operands, 2, opcode)
+            reg = _parse_int_reg(operands[0])
+            return DecodedInstruction(
+                opcode=opcode, iclass=InstrClass.BRANCH, group="branch",
+                reads=(reg,)), operands[1].strip()
+        return handler
+
+    def _nop(self, operands: List[str]) -> Decoded:
+        _expect(operands, 0, "nop")
+        return DecodedInstruction(
+            opcode="nop", iclass=InstrClass.NOP, group="nop"), None

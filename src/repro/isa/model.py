@@ -1,0 +1,148 @@
+"""SimISA: the decoded instruction model shared by both syntax front-ends.
+
+The paper's framework is ISA-agnostic — instructions are whatever the
+user declares in the configuration file, and the target machine's
+toolchain gives them meaning.  Our simulated targets understand a small
+load/store ISA ("SimISA") with two *syntaxes*: an ARM-flavoured one
+(``add x1, x2, x3`` / ``ldr x2, [x10, #8]``) and an x86-flavoured one
+(``add rax, rbx`` / ``mov rax, [rbp+8]``).  Both assemble to the same
+:class:`DecodedInstruction` form consumed by the pipeline model.
+
+Instruction classes mirror the breakdown used in the paper's Tables III
+and IV: short-latency integer, long-latency integer, float/SIMD
+(tracked separately so mixes can be reported either way), memory and
+branch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["InstrClass", "DecodedInstruction", "Program",
+           "INT_REGISTER_COUNT", "VEC_REGISTER_COUNT", "FLAGS_REGISTER"]
+
+#: Architectural register file sizes shared by both syntaxes.
+INT_REGISTER_COUNT = 16
+VEC_REGISTER_COUNT = 16
+
+#: Pseudo-register representing the condition flags (set by ``cmp`` /
+#: ``subs``, read by conditional branches).
+FLAGS_REGISTER = "flags"
+
+
+class InstrClass(enum.Enum):
+    """Execution classes, each mapping to a functional-unit pool and an
+    energy-per-instruction entry in the CPU model."""
+
+    INT_SHORT = "int_short"    # add/sub/logic/shift — 1-cycle ALU ops
+    INT_LONG = "int_long"      # mul/div — multi-cycle integer ops
+    FLOAT = "float"            # scalar floating point
+    SIMD = "simd"              # vector ops (widest datapath, highest EPI)
+    MEM_LOAD = "mem_load"
+    MEM_STORE = "mem_store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (InstrClass.MEM_LOAD, InstrClass.MEM_STORE)
+
+    @property
+    def table_category(self) -> str:
+        """The five-way grouping of the paper's Table III/IV columns."""
+        if self in (InstrClass.FLOAT, InstrClass.SIMD):
+            return "Float/SIMD"
+        return {
+            InstrClass.INT_SHORT: "ShortInt",
+            InstrClass.INT_LONG: "LongInt",
+            InstrClass.MEM_LOAD: "Mem",
+            InstrClass.MEM_STORE: "Mem",
+            InstrClass.BRANCH: "Branch",
+            InstrClass.NOP: "Nop",
+        }[self]
+
+
+@dataclass
+class DecodedInstruction:
+    """One assembled instruction, ready for the pipeline model.
+
+    ``reads``/``writes`` name architectural registers (``x3``, ``v2``,
+    or the ``flags`` pseudo-register); the pipeline uses them for
+    dependency tracking.  Memory operations carry their base register
+    and immediate offset so the cache model can compute addresses.
+    ``branch_target`` is an instruction index within the program
+    (resolved from labels by the assembler); ``None`` marks the
+    fall-through "branch to next instruction" used inside GA loops.
+    """
+
+    opcode: str
+    iclass: InstrClass
+    #: Latency/energy group (``alu``, ``mul``, ``div``, ``fadd``, ``fma``,
+    #: ``load``...) — a finer key than ``iclass`` used by the CPU model's
+    #: latency and EPI tables.  Defaults to the class value.
+    group: str = ""
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    immediate: Optional[int] = None
+    mem_base: Optional[str] = None
+    mem_offset: int = 0
+    branch_target: Optional[int] = None
+    backward: bool = False
+    source_line: int = 0
+    text: str = ""
+
+    @property
+    def is_load(self) -> bool:
+        return self.iclass is InstrClass.MEM_LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.iclass is InstrClass.MEM_STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.iclass is InstrClass.BRANCH
+
+
+@dataclass
+class Program:
+    """An assembled program: init section + loop body.
+
+    The simulated machine executes ``init`` once (establishing register
+    data patterns that feed the power model's toggle factor) and then
+    repeats ``loop`` until the requested duration elapses.  ``name``
+    is the uploaded file name, kept for diagnostics.
+    """
+
+    name: str
+    init: List[DecodedInstruction] = field(default_factory=list)
+    loop: List[DecodedInstruction] = field(default_factory=list)
+    #: Initial register values established by the init section, register
+    #: name → integer value (used by the power model's toggle factor).
+    register_values: Dict[str, int] = field(default_factory=dict)
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def loop_length(self) -> int:
+        return len(self.loop)
+
+    def class_counts(self) -> Dict[InstrClass, int]:
+        counts: Dict[InstrClass, int] = {}
+        for instr in self.loop:
+            counts[instr.iclass] = counts.get(instr.iclass, 0) + 1
+        return counts
+
+    def table_breakdown(self) -> Dict[str, int]:
+        """Loop-body instruction counts in the paper's table categories."""
+        breakdown: Dict[str, int] = {}
+        for instr in self.loop:
+            category = instr.iclass.table_category
+            breakdown[category] = breakdown.get(category, 0) + 1
+        return breakdown
+
+
+def registers_named(prefix: str, count: int) -> Sequence[str]:
+    """Helper: ``registers_named('x', 4)`` → ``('x0', ..., 'x3')``."""
+    return tuple(f"{prefix}{i}" for i in range(count))

@@ -1,0 +1,284 @@
+"""x86-flavoured SimISA syntax front-end.
+
+Covers the shapes used by the paper's AMD Athlon dI/dt experiment:
+two-operand integer ALU ops (destination is also a source), integer
+multiply/divide, SSE packed/scalar float ops, FMA, ``mov`` loads and
+stores with ``[base+offset]`` addressing, compare/dec and conditional
+jumps, and the ``jmp 1f`` / ``1:`` predictable branch idiom.
+
+Register files: the 16 GPRs (``rax``...``r15``) and ``xmm0``–``xmm15``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import AssemblyError
+from .assembler import BaseAssembler
+from .model import FLAGS_REGISTER, DecodedInstruction, InstrClass
+
+__all__ = ["X86Assembler", "GP_REGISTERS", "XMM_REGISTERS"]
+
+GP_REGISTERS = ("rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+                "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15")
+XMM_REGISTERS = tuple(f"xmm{i}" for i in range(16))
+
+_GP_SET = frozenset(GP_REGISTERS)
+_XMM_SET = frozenset(XMM_REGISTERS)
+
+Decoded = Tuple[DecodedInstruction, Optional[str]]
+
+
+def _parse_gp(token: str) -> str:
+    token = token.strip().lower()
+    if token not in _GP_SET:
+        raise AssemblyError(f"{token!r} is not a general-purpose register")
+    return token
+
+
+def _parse_xmm(token: str) -> str:
+    token = token.strip().lower()
+    if token not in _XMM_SET:
+        raise AssemblyError(f"{token!r} is not an xmm register")
+    return token
+
+
+def _is_immediate(token: str) -> bool:
+    token = token.strip()
+    if token.lower().startswith("0x"):
+        return True
+    return token.lstrip("-").isdigit()
+
+
+def _parse_immediate(token: str) -> int:
+    try:
+        return int(token.strip(), 0)
+    except ValueError:
+        raise AssemblyError(f"{token!r} is not an immediate value") from None
+
+
+def _is_mem(token: str) -> bool:
+    token = token.strip()
+    return token.startswith("[") and token.endswith("]")
+
+
+def _parse_mem(token: str) -> Tuple[str, int]:
+    """Parse ``[rbp]``, ``[rbp+8]`` or ``[rbp-8]`` into (base, offset)."""
+    inner = token.strip()[1:-1].strip()
+    for sign, splitter in ((1, "+"), (-1, "-")):
+        if splitter in inner:
+            base_text, offset_text = inner.split(splitter, 1)
+            return _parse_gp(base_text), sign * _parse_immediate(offset_text)
+    return _parse_gp(inner), 0
+
+
+def _expect(operands: List[str], count: int, opcode: str) -> None:
+    if len(operands) != count:
+        raise AssemblyError(
+            f"{opcode} expects {count} operands, got {len(operands)}")
+
+
+class X86Assembler(BaseAssembler):
+    """Assembler for the x86-flavoured syntax."""
+
+    syntax_name = "x86-like"
+
+    def __init__(self) -> None:
+        super().__init__()
+        h = self.handlers
+
+        for opcode in ("add", "sub", "and", "or", "xor"):
+            h[opcode] = self._make_int2(opcode, "alu")
+        for opcode in ("shl", "shr", "sar", "rol"):
+            h[opcode] = self._make_int2(opcode, "shift")
+        h["imul"] = self._make_int2("imul", "mul", InstrClass.INT_LONG)
+        h["idiv2"] = self._make_int2("idiv2", "div", InstrClass.INT_LONG)
+        h["lea"] = self._lea
+        h["mov"] = self._mov
+        h["inc"] = self._make_int1("inc")
+        h["dec"] = self._make_int1("dec")
+        h["cmp"] = self._cmp
+        h["test"] = self._cmp_like("test")
+
+        for opcode in ("addps", "subps", "xorps", "orps", "andps"):
+            h[opcode] = self._make_xmm2(opcode, "vadd", InstrClass.SIMD)
+        h["mulps"] = self._make_xmm2("mulps", "vmul", InstrClass.SIMD)
+        h["divps"] = self._make_xmm2("divps", "fdiv", InstrClass.SIMD)
+        for opcode in ("addsd", "subsd"):
+            h[opcode] = self._make_xmm2(opcode, "fadd", InstrClass.FLOAT)
+        h["mulsd"] = self._make_xmm2("mulsd", "fmul", InstrClass.FLOAT)
+        h["divsd"] = self._make_xmm2("divsd", "fdiv", InstrClass.FLOAT)
+        h["vfmadd231ps"] = self._fma
+        h["movaps"] = self._movaps
+
+        h["jmp"] = self._jmp
+        for opcode in ("jnz", "jne", "jz", "je", "jg", "jl"):
+            h[opcode] = self._make_cond_jump(opcode)
+
+        h["nop"] = self._nop
+
+    # -- integer -----------------------------------------------------------
+
+    def _make_int2(self, opcode: str, group: str,
+                   iclass: InstrClass = InstrClass.INT_SHORT):
+        def handler(operands: List[str]) -> Decoded:
+            _expect(operands, 2, opcode)
+            dst = _parse_gp(operands[0])
+            second = operands[1].strip()
+            if _is_immediate(second):
+                return DecodedInstruction(
+                    opcode=opcode, iclass=iclass, group=group,
+                    reads=(dst,), writes=(dst, FLAGS_REGISTER),
+                    immediate=_parse_immediate(second)), None
+            src = _parse_gp(second)
+            return DecodedInstruction(
+                opcode=opcode, iclass=iclass, group=group,
+                reads=(dst, src), writes=(dst, FLAGS_REGISTER)), None
+        return handler
+
+    def _make_int1(self, opcode: str):
+        def handler(operands: List[str]) -> Decoded:
+            _expect(operands, 1, opcode)
+            dst = _parse_gp(operands[0])
+            return DecodedInstruction(
+                opcode=opcode, iclass=InstrClass.INT_SHORT, group="alu",
+                reads=(dst,), writes=(dst, FLAGS_REGISTER)), None
+        return handler
+
+    def _lea(self, operands: List[str]) -> Decoded:
+        _expect(operands, 2, "lea")
+        dst = _parse_gp(operands[0])
+        if not _is_mem(operands[1]):
+            raise AssemblyError("lea needs a memory operand")
+        base, offset = _parse_mem(operands[1])
+        return DecodedInstruction(
+            opcode="lea", iclass=InstrClass.INT_SHORT, group="alu",
+            reads=(base,), writes=(dst,), immediate=offset), None
+
+    def _cmp(self, operands: List[str]) -> Decoded:
+        return self._cmp_like("cmp")(operands)
+
+    def _cmp_like(self, opcode: str):
+        def handler(operands: List[str]) -> Decoded:
+            _expect(operands, 2, opcode)
+            first = _parse_gp(operands[0])
+            second = operands[1].strip()
+            if _is_immediate(second):
+                return DecodedInstruction(
+                    opcode=opcode, iclass=InstrClass.INT_SHORT, group="alu",
+                    reads=(first,), writes=(FLAGS_REGISTER,),
+                    immediate=_parse_immediate(second)), None
+            return DecodedInstruction(
+                opcode=opcode, iclass=InstrClass.INT_SHORT, group="alu",
+                reads=(first, _parse_gp(second)),
+                writes=(FLAGS_REGISTER,)), None
+        return handler
+
+    # -- mov: register move, immediate load, memory load/store ---------------
+
+    def _mov(self, operands: List[str]) -> Decoded:
+        _expect(operands, 2, "mov")
+        dst_text, src_text = operands[0].strip(), operands[1].strip()
+        if _is_mem(dst_text):
+            base, offset = _parse_mem(dst_text)
+            src = _parse_gp(src_text)
+            return DecodedInstruction(
+                opcode="mov", iclass=InstrClass.MEM_STORE, group="store",
+                reads=(src, base), writes=(), mem_base=base,
+                mem_offset=offset), None
+        dst = _parse_gp(dst_text)
+        if _is_mem(src_text):
+            base, offset = _parse_mem(src_text)
+            return DecodedInstruction(
+                opcode="mov", iclass=InstrClass.MEM_LOAD, group="load",
+                reads=(base,), writes=(dst,), mem_base=base,
+                mem_offset=offset), None
+        if _is_immediate(src_text):
+            return DecodedInstruction(
+                opcode="mov", iclass=InstrClass.INT_SHORT, group="alu",
+                reads=(), writes=(dst,),
+                immediate=_parse_immediate(src_text)), None
+        src = _parse_gp(src_text)
+        return DecodedInstruction(
+            opcode="mov", iclass=InstrClass.INT_SHORT, group="alu",
+            reads=(src,), writes=(dst,)), None
+
+    # -- SSE ------------------------------------------------------------------
+
+    def _make_xmm2(self, opcode: str, group: str, iclass: InstrClass):
+        def handler(operands: List[str]) -> Decoded:
+            _expect(operands, 2, opcode)
+            dst = _parse_xmm(operands[0])
+            src = _parse_xmm(operands[1])
+            return DecodedInstruction(
+                opcode=opcode, iclass=iclass, group=group,
+                reads=(dst, src), writes=(dst,)), None
+        return handler
+
+    def _fma(self, operands: List[str]) -> Decoded:
+        _expect(operands, 3, "vfmadd231ps")
+        dst = _parse_xmm(operands[0])
+        src1 = _parse_xmm(operands[1])
+        src2 = _parse_xmm(operands[2])
+        return DecodedInstruction(
+            opcode="vfmadd231ps", iclass=InstrClass.SIMD, group="fma",
+            reads=(src1, src2, dst), writes=(dst,)), None
+
+    def _movaps(self, operands: List[str]) -> Decoded:
+        """Register move, load or store of an xmm register."""
+        _expect(operands, 2, "movaps")
+        dst_text, src_text = operands[0].strip(), operands[1].strip()
+        if _is_mem(dst_text):
+            base, offset = _parse_mem(dst_text)
+            return DecodedInstruction(
+                opcode="movaps", iclass=InstrClass.MEM_STORE, group="store",
+                reads=(_parse_xmm(src_text), base), writes=(),
+                mem_base=base, mem_offset=offset), None
+        dst = _parse_xmm(dst_text)
+        if _is_mem(src_text):
+            base, offset = _parse_mem(src_text)
+            return DecodedInstruction(
+                opcode="movaps", iclass=InstrClass.MEM_LOAD, group="load",
+                reads=(base,), writes=(dst,), mem_base=base,
+                mem_offset=offset), None
+        if _is_immediate(src_text):
+            # Pseudo-init form: establish a data pattern in an xmm reg.
+            return DecodedInstruction(
+                opcode="movaps", iclass=InstrClass.SIMD, group="vadd",
+                reads=(), writes=(dst,),
+                immediate=_parse_immediate(src_text)), None
+        return DecodedInstruction(
+            opcode="movaps", iclass=InstrClass.SIMD, group="vadd",
+            reads=(_parse_xmm(src_text),), writes=(dst,)), None
+
+    # -- control flow -------------------------------------------------------------
+
+    def _jmp(self, operands: List[str]) -> Decoded:
+        _expect(operands, 1, "jmp")
+        return DecodedInstruction(
+            opcode="jmp", iclass=InstrClass.BRANCH, group="branch",
+            reads=()), operands[0].strip()
+
+    def _make_cond_jump(self, opcode: str):
+        def handler(operands: List[str]) -> Decoded:
+            _expect(operands, 1, opcode)
+            return DecodedInstruction(
+                opcode=opcode, iclass=InstrClass.BRANCH, group="branch",
+                reads=(FLAGS_REGISTER,)), operands[0].strip()
+        return handler
+
+    def _nop(self, operands: List[str]) -> Decoded:
+        _expect(operands, 0, "nop")
+        return DecodedInstruction(
+            opcode="nop", iclass=InstrClass.NOP, group="nop"), None
+
+    # -- init values ---------------------------------------------------------------
+
+    def register_values_from_init(self, init) -> dict:
+        values = {}
+        for instr in init:
+            if instr.opcode in ("mov", "movaps") and instr.writes \
+                    and instr.immediate is not None \
+                    and not instr.iclass.is_memory:
+                values[instr.writes[0]] = instr.immediate
+        return values

@@ -1,0 +1,17 @@
+"""Measurement procedures (paper Section III.C)."""
+
+from .base import Measurement
+from .cache_misses import CacheMissMeasurement
+from .ipc import IPCMeasurement
+from .oscilloscope import OscilloscopeMeasurement
+from .power import PowerMeasurement
+from .temperature import TemperatureMeasurement
+
+__all__ = [
+    "CacheMissMeasurement",
+    "Measurement",
+    "IPCMeasurement",
+    "OscilloscopeMeasurement",
+    "PowerMeasurement",
+    "TemperatureMeasurement",
+]

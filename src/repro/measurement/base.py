@@ -1,0 +1,152 @@
+"""The measurement template class (paper Section III.C).
+
+The paper's ``Measurement.py`` is an abstract class users inherit to
+script custom measurement procedures: it offers ssh/scp utilities for
+driving the target machine, and subclasses override ``init`` (parameter
+parsing) and ``measure`` (the actual procedure).  This module is the
+analogue: :class:`Measurement` owns a
+:class:`~repro.cpu.target.SimulatedTarget` and provides the
+upload→compile→run→cleanup workflow; concrete classes override
+:meth:`init` and :meth:`measure`.
+
+The engine loads measurement classes dynamically by dotted name from
+the main configuration (:mod:`repro.core.loader`), so adding a new
+procedure requires no change to framework code — the plug-and-play
+property the paper demonstrates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from ..core.errors import MeasurementError
+from ..core.individual import Individual
+from ..cpu.machine import RunResult
+from ..cpu.target import SimulatedTarget
+
+__all__ = ["Measurement"]
+
+
+class Measurement(ABC):
+    """Base class for measurement procedures.
+
+    Parameters come as a flat string→string mapping — the parsed
+    contents of the separate measurement XML file the paper describes.
+    Common parameters understood by the stock helpers:
+
+    ``duration``        seconds the binary runs per measurement (default 5)
+    ``samples``         number of instrument samples per run (default 10)
+    ``cores``           active cores during GA measurement (default 1 —
+                        the paper optimises on a single core)
+    ``repeats``         independent run-and-measure repetitions per
+                        individual, aggregated per measurement index
+                        (default 1).  The paper attributes part of its
+                        single-core methodology to measurement
+                        variability in OS environments; repeating and
+                        aggregating is the standard mitigation.
+    ``aggregate``       ``mean`` (default) or ``median`` across repeats
+    ``source_name``     remote file name for the uploaded source
+    """
+
+    def __init__(self, target: SimulatedTarget,
+                 params: Optional[Dict[str, str]] = None) -> None:
+        self.target = target
+        if not target.connected:
+            target.connect()
+        self.duration_s = 5.0
+        self.sample_count = 10
+        self.cores = 1
+        self.repeats = 1
+        self.aggregate = "mean"
+        self.source_name = "individual.s"
+        self.init(dict(params or {}))
+
+    # -- overridables ------------------------------------------------------
+
+    def init(self, params: Dict[str, str]) -> None:
+        """Parse measurement parameters; subclasses may extend."""
+        try:
+            if "duration" in params:
+                self.duration_s = float(params["duration"])
+            if "samples" in params:
+                self.sample_count = int(params["samples"])
+            if "cores" in params:
+                self.cores = int(params["cores"])
+            if "repeats" in params:
+                self.repeats = int(params["repeats"])
+        except ValueError as exc:
+            raise MeasurementError(
+                f"bad measurement parameter value: {exc}") from exc
+        if "source_name" in params:
+            self.source_name = params["source_name"]
+        if "aggregate" in params:
+            self.aggregate = params["aggregate"]
+        if self.duration_s <= 0:
+            raise MeasurementError("duration must be positive")
+        if self.sample_count < 1:
+            raise MeasurementError("samples must be >= 1")
+        if self.repeats < 1:
+            raise MeasurementError("repeats must be >= 1")
+        if self.aggregate not in ("mean", "median"):
+            raise MeasurementError(
+                f"unknown aggregate {self.aggregate!r}; "
+                "expected 'mean' or 'median'")
+
+    @abstractmethod
+    def measure(self, source_text: str,
+                individual: Individual) -> List[float]:
+        """Run the procedure once and return the measurement list.
+
+        The first value is, by convention, what
+        :class:`~repro.fitness.default_fitness.DefaultFitness` uses.
+        Compile failures must propagate as
+        :class:`~repro.core.errors.AssemblyError` — the engine turns
+        them into zero-fitness individuals.
+
+        The engine should call :meth:`measure_repeated`, which wraps
+        this with the ``repeats``/``aggregate`` policy; with the
+        default ``repeats=1`` the two are identical.
+        """
+
+    def measure_repeated(self, source_text: str,
+                         individual: Individual) -> List[float]:
+        """Run :meth:`measure` ``repeats`` times and aggregate each
+        measurement index across repetitions."""
+        if self.repeats == 1:
+            return self.measure(source_text, individual)
+        rounds = [self.measure(source_text, individual)
+                  for _ in range(self.repeats)]
+        width = min(len(r) for r in rounds)
+        aggregated: List[float] = []
+        for index in range(width):
+            values = sorted(r[index] for r in rounds)
+            if self.aggregate == "median":
+                middle = len(values) // 2
+                if len(values) % 2:
+                    aggregated.append(values[middle])
+                else:
+                    aggregated.append(
+                        (values[middle - 1] + values[middle]) / 2.0)
+            else:
+                aggregated.append(sum(values) / len(values))
+        return aggregated
+
+    # -- workflow helpers shared by the stock procedures ------------------------
+
+    def execute_on_target(self, source_text: str,
+                          supply_v: Optional[float] = None) -> RunResult:
+        """The full upload → compile → run → cleanup round trip."""
+        target = self.target
+        target.copy_file(self.source_name, source_text)
+        try:
+            binary = target.compile_file(self.source_name)
+            return target.run_binary(
+                binary,
+                duration_s=self.duration_s,
+                cores=self.cores,
+                power_sample_count=self.sample_count,
+                supply_v=supply_v,
+            )
+        finally:
+            target.remove_file(self.source_name)

@@ -1,0 +1,11 @@
+"""Baseline workload substrate (conventional benchmarks & stress-tests)."""
+
+from .builder import LoopBuilder, build_workload_source
+from .library import (FIGURE_BASELINES, Workload, workload, workload_names,
+                      workloads)
+
+__all__ = [
+    "LoopBuilder", "build_workload_source",
+    "FIGURE_BASELINES", "Workload", "workload", "workload_names",
+    "workloads",
+]

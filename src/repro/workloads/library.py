@@ -1,0 +1,275 @@
+"""The baseline workload library.
+
+Each entry is a characteristic kernel standing in for a workload the
+paper measures against its GA viruses:
+
+* **bare-metal benchmarks** (Figures 5/6) — ``coremark`` (branchy
+  integer), ``fdct``/``imdct`` (DSP float kernels), plus the two
+  manually-written stress loops the paper's authors compare against;
+* **OS benchmarks** (Figure 7) — proxies for the Parsec and NAS
+  programs the X-Gene2 section plots;
+* **stability tests** (Figures 8/9) — ``prime95`` (sustained FFT-like
+  float/SIMD power hog), ``amd_stability_test``, ``linpack`` and a
+  low-activity ``idle_spin``.
+
+The mixes are calibrated for *plausibility*, not cycle-accuracy: each
+keeps the documented character of its namesake (e.g. coremark: mostly
+short integer ops and predictable branches with a small memory
+footprint; Prime95: wide FMA-heavy SIMD at high sustained IPC).  The
+point of the baselines is to anchor the figures' normalisation and to
+confirm the GA beats non-adversarial code by the paper's margins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..core.errors import ConfigError
+from .builder import LoopBuilder, build_workload_source
+
+__all__ = ["Workload", "workload", "workload_names", "workloads",
+           "FIGURE_BASELINES"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named baseline program for one ISA."""
+
+    name: str
+    isa: str
+    description: str
+    source: str
+
+
+def _coremark(isa: str) -> LoopBuilder:
+    """EEMBC CoreMark: list/matrix/state-machine integer code —
+    mostly 1-cycle ALU ops, frequent predictable branches, light
+    memory, a few multiplies."""
+    b = LoopBuilder(isa)
+    b.int_block(10).branch_block(2).load_block(3).int_block(8, chain=True)
+    b.mul_block(2).store_block(2).branch_block(2).int_block(6)
+    return b
+
+
+def _fdct(isa: str) -> LoopBuilder:
+    """Forward DCT kernel: float multiply/add butterflies over a small
+    block with serial rounds."""
+    b = LoopBuilder(isa)
+    b.load_block(4).float_block(8).float_block(6, chain=True)
+    b.int_block(2).store_block(4).float_block(6)
+    return b
+
+
+def _imdct(isa: str) -> LoopBuilder:
+    """Inverse MDCT (audio codecs): float MACs with window overlap —
+    slightly more memory traffic than fdct."""
+    b = LoopBuilder(isa)
+    b.load_block(6).float_block(6).simd_block(4, fma=True, chain=True)
+    b.store_block(4).float_block(6).int_block(2)
+    return b
+
+
+def _a15_manual_stress(isa: str) -> LoopBuilder:
+    """A competent hand-written Cortex-A15 power loop: wide SIMD FMAs
+    interleaved with loads — the kind of loop an engineer writes in an
+    afternoon.  Its weaknesses (which the GA exploits) are a short
+    serialised FMA stretch and an under-used second memory port."""
+    b = LoopBuilder(isa)
+    b.simd_block(8, fma=False).load_block(4).float_block(8)
+    b.store_block(2).load_block(2).simd_block(2, fma=True).int_block(4)
+    return b
+
+
+def _a7_manual_stress(isa: str) -> LoopBuilder:
+    """A hand-written Cortex-A7 stress loop: dual-issue friendly
+    int+float pairs.  Misses the branch-unit power the GA discovers."""
+    b = LoopBuilder(isa)
+    for _ in range(6):
+        b.float_block(1).int_block(1)
+    b.load_block(4).float_block(6).int_block(4)
+    return b
+
+
+def _prime95(isa: str) -> LoopBuilder:
+    """Prime95 torture test: large FFT butterflies — near-peak
+    sustained SIMD FMA throughput with streaming loads.  The classic
+    *power* virus: flat, high current (deep IR drop, little dI/dt)."""
+    b = LoopBuilder(isa)
+    b.simd_block(12, fma=True).load_block(3).simd_block(9, fma=True)
+    b.store_block(2).simd_block(6, fma=True)
+    return b
+
+
+def _amd_stability(isa: str) -> LoopBuilder:
+    """AMD's system stability test: mixed int/float/memory burn-in."""
+    b = LoopBuilder(isa)
+    b.float_block(6).int_block(6).load_block(4).simd_block(4)
+    b.store_block(2).mul_block(2).branch_block(2).int_block(4)
+    return b
+
+
+def _linpack(isa: str) -> LoopBuilder:
+    """LINPACK DGEMM inner loop: float FMAs with streaming memory."""
+    b = LoopBuilder(isa)
+    b.simd_block(8, fma=True).load_block(4).float_block(6)
+    b.store_block(2).simd_block(6, fma=True)
+    return b
+
+
+def _idle_spin(isa: str) -> LoopBuilder:
+    """A do-nothing polling loop — the low anchor of every figure."""
+    b = LoopBuilder(isa)
+    b.nop_block(8).int_block(2, chain=True).branch_block(1).nop_block(5)
+    return b
+
+
+# -- Parsec proxies (Figure 7) -------------------------------------------------
+
+def _bodytrack(isa: str) -> LoopBuilder:
+    """Parsec bodytrack: float-heavy particle filter with branches —
+    Figure 7's normalisation baseline."""
+    b = LoopBuilder(isa)
+    b.float_block(8).load_block(4).branch_block(2).float_block(4, chain=True)
+    b.int_block(4).store_block(2)
+    return b
+
+
+def _streamcluster(isa: str) -> LoopBuilder:
+    """Parsec streamcluster: distance computations — float MACs over
+    streamed points (memory bound)."""
+    b = LoopBuilder(isa)
+    b.load_block(8).float_block(8).store_block(2).float_block(4, chain=True)
+    b.int_block(2)
+    return b
+
+
+def _canneal(isa: str) -> LoopBuilder:
+    """Parsec canneal: pointer chasing and swaps — dependent loads and
+    integer compares; low IPC."""
+    b = LoopBuilder(isa)
+    b.load_block(6).int_block(6, chain=True).branch_block(3)
+    b.store_block(3).int_block(4, chain=True).load_block(2)
+    return b
+
+
+def _x264(isa: str) -> LoopBuilder:
+    """Parsec x264: SIMD SAD/DCT kernels with memory traffic and
+    motion-search branches."""
+    b = LoopBuilder(isa)
+    b.simd_block(6, fma=False).load_block(6).int_block(6, chain=True)
+    b.store_block(2).simd_block(3, fma=False).branch_block(3)
+    return b
+
+
+# -- NAS proxies (Figure 7) ----------------------------------------------------
+
+def _nas_bt(isa: str) -> LoopBuilder:
+    """NAS BT: block-tridiagonal solver — dense float with memory."""
+    b = LoopBuilder(isa)
+    b.float_block(10).load_block(4).float_block(4, chain=True).store_block(3)
+    b.int_block(3)
+    return b
+
+
+def _nas_cg(isa: str) -> LoopBuilder:
+    """NAS CG: sparse matrix-vector — indirection-bound, low IPC."""
+    b = LoopBuilder(isa)
+    b.load_block(8).float_block(4, chain=True).load_block(4)
+    b.int_block(4, chain=True).store_block(2)
+    return b
+
+
+def _nas_ep(isa: str) -> LoopBuilder:
+    """NAS EP: embarrassingly-parallel random numbers — float/int mix,
+    no memory pressure, high IPC."""
+    b = LoopBuilder(isa)
+    b.float_block(8).int_block(6).mul_block(3).float_block(6).branch_block(1)
+    return b
+
+
+def _nas_ft(isa: str) -> LoopBuilder:
+    """NAS FT: 3-D FFT — SIMD butterflies with strided memory."""
+    b = LoopBuilder(isa)
+    b.simd_block(8, fma=True).load_block(5).store_block(3)
+    b.float_block(5).int_block(2)
+    return b
+
+
+def _nas_lu(isa: str) -> LoopBuilder:
+    """NAS LU: SSOR solver — float chains with moderate memory."""
+    b = LoopBuilder(isa)
+    b.float_block(6, chain=True).load_block(4).float_block(6)
+    b.store_block(2).int_block(4)
+    return b
+
+
+def _nas_mg(isa: str) -> LoopBuilder:
+    """NAS MG: multigrid — stencil loads dominate."""
+    b = LoopBuilder(isa)
+    b.load_block(9).float_block(6).store_block(3).float_block(3, chain=True)
+    return b
+
+
+_BUILDERS: Dict[str, Tuple[str, Callable[[str], LoopBuilder]]] = {
+    "coremark": ("EEMBC CoreMark proxy (branchy integer)", _coremark),
+    "fdct": ("forward DCT DSP kernel", _fdct),
+    "imdct": ("inverse MDCT DSP kernel", _imdct),
+    "a15_manual_stress": ("hand-written Cortex-A15 power loop",
+                          _a15_manual_stress),
+    "a7_manual_stress": ("hand-written Cortex-A7 power loop",
+                         _a7_manual_stress),
+    "prime95": ("Prime95 torture-test proxy (FFT FMA burn)", _prime95),
+    "amd_stability_test": ("AMD system stability test proxy",
+                           _amd_stability),
+    "linpack": ("LINPACK DGEMM proxy", _linpack),
+    "idle_spin": ("polling loop (low anchor)", _idle_spin),
+    "bodytrack": ("Parsec bodytrack proxy", _bodytrack),
+    "streamcluster": ("Parsec streamcluster proxy", _streamcluster),
+    "canneal": ("Parsec canneal proxy", _canneal),
+    "x264": ("Parsec x264 proxy", _x264),
+    "nas_bt": ("NAS BT proxy", _nas_bt),
+    "nas_cg": ("NAS CG proxy", _nas_cg),
+    "nas_ep": ("NAS EP proxy", _nas_ep),
+    "nas_ft": ("NAS FT proxy", _nas_ft),
+    "nas_lu": ("NAS LU proxy", _nas_lu),
+    "nas_mg": ("NAS MG proxy", _nas_mg),
+}
+
+#: Baselines plotted per paper figure (GA viruses are added by the
+#: experiment drivers).
+FIGURE_BASELINES: Dict[str, List[str]] = {
+    "fig5_a15_power": ["coremark", "imdct", "fdct", "a15_manual_stress"],
+    "fig6_a7_power": ["coremark", "imdct", "fdct", "a7_manual_stress"],
+    "fig7_xgene2_temperature": [
+        "bodytrack", "streamcluster", "canneal", "x264",
+        "nas_bt", "nas_cg", "nas_ep", "nas_ft", "nas_lu", "nas_mg",
+    ],
+    "fig8_voltage_noise": [
+        "idle_spin", "coremark", "linpack", "amd_stability_test", "prime95",
+    ],
+    "fig9_vmin": [
+        "coremark", "linpack", "amd_stability_test", "prime95",
+    ],
+}
+
+
+def workload_names() -> Tuple[str, ...]:
+    return tuple(sorted(_BUILDERS))
+
+
+def workload(name: str, isa: str = "arm") -> Workload:
+    """Build one baseline workload for the given ISA."""
+    try:
+        description, build = _BUILDERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(workload_names())}") from None
+    body = build(isa).body()
+    return Workload(name=name, isa=isa, description=description,
+                    source=build_workload_source(isa, body))
+
+
+def workloads(names, isa: str = "arm") -> List[Workload]:
+    return [workload(name, isa) for name in names]

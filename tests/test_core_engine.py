@@ -1,0 +1,238 @@
+"""Unit tests for the GA engine (repro.core.engine).
+
+These use a deterministic in-memory measurement/fitness pair so the
+engine's mechanics (seeding, evaluation, breeding, elitism, recording,
+compile-failure handling) are tested without the CPU substrate.
+"""
+
+import pytest
+
+from repro.core.config import GAParameters, RunConfig
+from repro.core.engine import GeneticEngine
+from repro.core.errors import AssemblyError, ConfigError
+from repro.core.individual import random_individual
+from repro.core.output import OutputRecorder
+from repro.core.population import Population
+from repro.core.rng import make_rng
+from repro.fitness.default_fitness import DefaultFitness
+
+
+class CountingMeasurement:
+    """Fitness = number of LDR instructions (deterministic, cheap)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def measure(self, source_text, individual):
+        self.calls += 1
+        score = float(sum(1 for i in individual.instructions
+                          if i.name == "LDR"))
+        return [score, score + 1.0]
+
+
+class FailingMeasurement(CountingMeasurement):
+    """Marks every individual containing a NOP as a compile failure."""
+
+    def measure(self, source_text, individual):
+        if any(i.name == "NOP" for i in individual.instructions):
+            raise AssemblyError("synthetic compile failure")
+        return super().measure(source_text, individual)
+
+
+def _engine(config, measurement=None, recorder=None):
+    return GeneticEngine(config, measurement or CountingMeasurement(),
+                         DefaultFitness(), recorder=recorder)
+
+
+class TestRunMechanics:
+    def test_history_has_one_entry_per_generation(self, tiny_config):
+        history = _engine(tiny_config).run()
+        assert len(history.generations) == tiny_config.ga.generations
+
+    def test_population_size_constant(self, tiny_config):
+        history = _engine(tiny_config).run()
+        assert len(history.final_population) == \
+            tiny_config.ga.population_size
+
+    def test_individual_size_constant(self, tiny_config):
+        history = _engine(tiny_config).run()
+        assert all(len(ind) == tiny_config.ga.individual_size
+                   for ind in history.final_population)
+
+    def test_every_individual_evaluated(self, tiny_config):
+        measurement = CountingMeasurement()
+        history = _engine(tiny_config, measurement).run()
+        expected = tiny_config.ga.population_size * \
+            tiny_config.ga.generations
+        assert measurement.calls == expected
+        assert history.final_population.evaluated
+
+    def test_generations_override(self, tiny_config):
+        history = _engine(tiny_config).run(generations=1)
+        assert len(history.generations) == 1
+
+    def test_bad_generations_override(self, tiny_config):
+        with pytest.raises(ConfigError):
+            _engine(tiny_config).run(generations=0)
+
+    def test_uids_unique_across_run(self, tiny_config, tmp_path):
+        recorder = OutputRecorder(tmp_path / "run")
+        _engine(tiny_config, recorder=recorder).run()
+        seen = set()
+        from repro.core.population import load_population
+        for path in recorder.population_files():
+            for ind in load_population(path):
+                assert ind.uid not in seen
+                seen.add(ind.uid)
+
+    def test_best_individual_tracked(self, tiny_config):
+        history = _engine(tiny_config).run()
+        best = history.best_individual
+        assert best is not None
+        assert best.fitness == max(g.best_fitness
+                                   for g in history.generations)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self, tiny_config):
+        h1 = _engine(tiny_config).run()
+        h2 = _engine(tiny_config).run()
+        assert h1.best_fitness_series() == h2.best_fitness_series()
+        assert h1.best_individual.genome_key() == \
+            h2.best_individual.genome_key()
+
+    def test_different_seed_different_trajectory(self, tiny_library,
+                                                 tiny_template):
+        def run(seed):
+            ga = GAParameters(population_size=6, individual_size=8,
+                              mutation_rate=0.1, generations=3,
+                              tournament_size=3, seed=seed)
+            config = RunConfig(ga=ga, library=tiny_library,
+                               template_text=tiny_template.text)
+            return _engine(config).run()
+        a = run(1).best_individual.genome_key()
+        b = run(2).best_individual.genome_key()
+        assert a != b
+
+
+class TestSelectionAndElitism:
+    def test_fitness_improves_with_elitism(self, tiny_library,
+                                           tiny_template):
+        ga = GAParameters(population_size=10, individual_size=12,
+                          mutation_rate=0.08, generations=8,
+                          tournament_size=3, seed=5)
+        config = RunConfig(ga=ga, library=tiny_library,
+                           template_text=tiny_template.text)
+        history = _engine(config).run()
+        series = history.best_fitness_series()
+        assert series[-1] >= series[0]
+        # Deterministic fitness + elitism => monotone non-decreasing.
+        assert all(b >= a for a, b in zip(series, series[1:]))
+
+    def test_converges_to_all_ldr(self, tiny_library, tiny_template):
+        """With fitness = LDR count, the GA must saturate the loop."""
+        ga = GAParameters(population_size=14, individual_size=10,
+                          mutation_rate=0.1, generations=25,
+                          tournament_size=4, seed=5)
+        config = RunConfig(ga=ga, library=tiny_library,
+                           template_text=tiny_template.text)
+        history = _engine(config).run()
+        assert history.best_individual.fitness >= 9.0
+
+    def test_without_elitism_best_can_regress(self, tiny_library,
+                                              tiny_template):
+        ga = GAParameters(population_size=6, individual_size=10,
+                          mutation_rate=0.5, generations=12,
+                          tournament_size=2, elitism=False, seed=11)
+        config = RunConfig(ga=ga, library=tiny_library,
+                           template_text=tiny_template.text)
+        series = _engine(config).run().best_fitness_series()
+        assert any(b < a for a, b in zip(series, series[1:]))
+
+
+class TestCompileFailures:
+    def test_failures_get_zero_fitness_and_stay_recorded(self, tiny_config):
+        history = _engine(tiny_config, FailingMeasurement()).run()
+        failed = [ind for pop in [history.final_population]
+                  for ind in pop if ind.compile_failed]
+        for ind in failed:
+            assert ind.fitness == 0.0
+            assert ind.measurements == [0.0]
+
+    def test_search_still_progresses_despite_failures(self, tiny_library,
+                                                      tiny_template):
+        ga = GAParameters(population_size=12, individual_size=6,
+                          mutation_rate=0.15, generations=15,
+                          tournament_size=4, seed=3)
+        config = RunConfig(ga=ga, library=tiny_library,
+                           template_text=tiny_template.text)
+        history = _engine(config, FailingMeasurement()).run()
+        # NOP-bearing individuals are unfit, so the winner has none.
+        assert all(i.name != "NOP"
+                   for i in history.best_individual.instructions)
+        assert history.best_individual.fitness > 0
+
+    def test_failure_counter_in_stats(self, tiny_config):
+        history = _engine(tiny_config, FailingMeasurement()).run()
+        assert all(g.compile_failures >= 0 for g in history.generations)
+
+
+class TestSeedPopulation:
+    def test_seed_population_used(self, tiny_config, tiny_library,
+                                  tmp_path):
+        rng = make_rng(0)
+        seeds = [random_individual(tiny_library, 8, rng, uid=i)
+                 for i in range(tiny_config.ga.population_size)]
+        seed_pop = Population(seeds, number=9)
+        path = seed_pop.save(tmp_path / "seed.bin")
+
+        tiny_config.seed_population_file = path
+        engine = _engine(tiny_config)
+        history = engine.run(generations=1)
+        got = {ind.genome_key() for ind in history.final_population}
+        expected = {ind.genome_key() for ind in seeds}
+        assert got == expected
+
+    def test_seed_population_size_mismatch(self, tiny_config,
+                                           tiny_library, tmp_path):
+        rng = make_rng(0)
+        seeds = [random_individual(tiny_library, 8, rng) for _ in range(3)]
+        path = Population(seeds).save(tmp_path / "seed.bin")
+        tiny_config.seed_population_file = path
+        with pytest.raises(ConfigError, match="seed population"):
+            _engine(tiny_config).run(generations=1)
+
+
+class TestRecording:
+    def test_recorder_writes_everything(self, tiny_config, tmp_path):
+        recorder = OutputRecorder(tmp_path / "run")
+        _engine(tiny_config, recorder=recorder).run()
+        n_individuals = len(list(recorder.individuals_dir.glob("*.txt")))
+        expected = tiny_config.ga.population_size * \
+            tiny_config.ga.generations
+        assert n_individuals == expected
+        assert len(recorder.population_files()) == \
+            tiny_config.ga.generations
+        assert (recorder.results_dir / "config.xml").exists()
+        assert (recorder.results_dir / "template.s").exists()
+
+    def test_recorded_sources_contain_template(self, tiny_config,
+                                               tmp_path):
+        recorder = OutputRecorder(tmp_path / "run")
+        _engine(tiny_config, recorder=recorder).run(generations=1)
+        any_source = next(recorder.individuals_dir.glob("*.txt"))
+        text = any_source.read_text()
+        assert ".loop" in text
+        assert "#loop_code" not in text
+
+
+class TestRenderSource:
+    def test_render_source_instantiates_template(self, tiny_config,
+                                                 tiny_library, rng):
+        engine = _engine(tiny_config)
+        ind = random_individual(tiny_library, 8, rng)
+        source = engine.render_source(ind)
+        assert "mov x10, #4096" in source
+        assert "#loop_code" not in source
+        for line in ind.render_body().splitlines():
+            assert line in source

@@ -1,0 +1,195 @@
+"""Unit tests for instruction specs and the library
+(repro.core.instruction)."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.instruction import (ConcreteInstruction, InstructionLibrary,
+                                    InstructionSpec)
+from repro.core.operand import ImmediateOperand, RegisterOperand
+from repro.core.rng import make_rng
+
+
+def _spec(name="LDR", operands=("res", "base", "off"),
+          fmt="ldr op1, [op2, #op3]", itype="mem"):
+    return InstructionSpec(name, operands, fmt, itype)
+
+
+def _operands():
+    return [
+        RegisterOperand("res", ["x2", "x3", "x4"]),
+        RegisterOperand("base", ["x10"]),
+        ImmediateOperand("off", 0, 256, 8),
+    ]
+
+
+class TestInstructionSpec:
+    def test_render_substitutes_operands(self):
+        spec = _spec()
+        assert spec.render(["x2", "x10", "8"]) == "ldr x2, [x10, #8]"
+
+    def test_render_high_slots_before_low(self):
+        """op10 must not be corrupted by the op1 substitution."""
+        ids = [f"o{i}" for i in range(10)]
+        fmt = " ".join(f"op{i}" for i in range(1, 11))
+        spec = InstructionSpec("WIDE", ids, fmt, "int_short")
+        rendered = spec.render([str(i) for i in range(10)])
+        assert rendered == "0 1 2 3 4 5 6 7 8 9"
+
+    def test_render_wrong_arity_rejected(self):
+        with pytest.raises(ConfigError):
+            _spec().render(["x2", "x10"])
+
+    def test_num_operands(self):
+        assert _spec().num_operands == 3
+
+    def test_zero_operand_instruction(self):
+        spec = InstructionSpec("NOP", [], "nop", "nop")
+        assert spec.render([]) == "nop"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            InstructionSpec("", [], "nop", "nop")
+
+    def test_empty_format_rejected(self):
+        with pytest.raises(ConfigError):
+            InstructionSpec("NOP", [], "", "nop")
+
+    def test_format_missing_placeholder_rejected(self):
+        with pytest.raises(ConfigError):
+            InstructionSpec("ADD", ["a", "b"], "add op1", "int_short")
+
+    def test_multiline_format_allowed(self):
+        """Branch definitions render two lines (b 1f / 1:)."""
+        spec = InstructionSpec("B", [], "b 1f\n1:", "branch")
+        assert spec.render([]) == "b 1f\n1:"
+
+
+class TestConcreteInstruction:
+    def test_render(self):
+        instr = ConcreteInstruction(_spec(), ("x2", "x10", "8"))
+        assert instr.render() == "ldr x2, [x10, #8]"
+
+    def test_str_matches_render(self):
+        instr = ConcreteInstruction(_spec(), ("x2", "x10", "8"))
+        assert str(instr) == instr.render()
+
+    def test_name_and_itype(self):
+        instr = ConcreteInstruction(_spec(), ("x2", "x10", "8"))
+        assert instr.name == "LDR"
+        assert instr.itype == "mem"
+
+    def test_with_value_replaces_single_slot(self):
+        instr = ConcreteInstruction(_spec(), ("x2", "x10", "8"))
+        changed = instr.with_value(2, "16")
+        assert changed.values == ("x2", "x10", "16")
+        assert instr.values == ("x2", "x10", "8")   # original untouched
+
+    def test_with_value_bad_slot(self):
+        instr = ConcreteInstruction(_spec(), ("x2", "x10", "8"))
+        with pytest.raises(ConfigError):
+            instr.with_value(3, "x")
+
+    def test_hashable_and_equal(self):
+        spec = _spec()
+        a = ConcreteInstruction(spec, ("x2", "x10", "8"))
+        b = ConcreteInstruction(spec, ("x2", "x10", "8"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestInstructionLibrary:
+    def test_undefined_operand_id_terminates(self):
+        """Paper: 'If the instruction definition contains an undefined
+        operand id, the framework will terminate the execution.'"""
+        with pytest.raises(ConfigError, match="undefined"):
+            InstructionLibrary(_operands()[:2], [_spec()])
+
+    def test_duplicate_instruction_name_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            InstructionLibrary(_operands(), [_spec(), _spec()])
+
+    def test_duplicate_operand_id_rejected(self):
+        ops = _operands() + [RegisterOperand("res", ["x9"])]
+        with pytest.raises(ConfigError, match="duplicate"):
+            InstructionLibrary(ops, [_spec()])
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ConfigError):
+            InstructionLibrary(_operands(), [])
+
+    def test_variant_count_matches_paper_example(self):
+        """Figure 4's LDR: 3 result regs x 1 base x 33 immediates = 99."""
+        lib = InstructionLibrary(_operands(), [_spec()])
+        assert lib.variant_count("LDR") == 99
+
+    def test_variant_count_zero_operand(self):
+        lib = InstructionLibrary(
+            _operands(), [_spec(), InstructionSpec("NOP", [], "nop", "nop")])
+        assert lib.variant_count("NOP") == 1
+
+    def test_spec_lookup(self):
+        lib = InstructionLibrary(_operands(), [_spec()])
+        assert lib.spec("LDR").name == "LDR"
+
+    def test_spec_unknown(self):
+        lib = InstructionLibrary(_operands(), [_spec()])
+        with pytest.raises(ConfigError):
+            lib.spec("SUB")
+
+    def test_operand_lookup(self):
+        lib = InstructionLibrary(_operands(), [_spec()])
+        assert lib.operand("res").id == "res"
+        with pytest.raises(ConfigError):
+            lib.operand("nope")
+
+    def test_contains(self):
+        lib = InstructionLibrary(_operands(), [_spec()])
+        assert "LDR" in lib
+        assert "SUB" not in lib
+
+    def test_len(self):
+        lib = InstructionLibrary(_operands(), [_spec()])
+        assert len(lib) == 1
+
+    def test_random_instruction_is_valid(self):
+        lib = InstructionLibrary(_operands(), [_spec()])
+        rng = make_rng(5)
+        for _ in range(30):
+            instr = lib.random_instruction(rng)
+            assert instr.name == "LDR"
+            assert instr.values[0] in {"x2", "x3", "x4"}
+            assert instr.values[1] == "x10"
+            assert 0 <= int(instr.values[2]) <= 256
+
+    def test_random_operand_value_respects_pool(self):
+        lib = InstructionLibrary(_operands(), [_spec()])
+        rng = make_rng(5)
+        instr = lib.random_instruction(rng)
+        for _ in range(20):
+            assert lib.random_operand_value(instr, 0, rng) in \
+                {"x2", "x3", "x4"}
+
+    def test_random_operand_value_bad_slot(self):
+        lib = InstructionLibrary(_operands(), [_spec()])
+        rng = make_rng(5)
+        instr = lib.random_instruction(rng)
+        with pytest.raises(ConfigError):
+            lib.random_operand_value(instr, 9, rng)
+
+    def test_sample_values_arity(self, rng):
+        lib = InstructionLibrary(_operands(), [_spec()])
+        values = lib.sample_values(lib.spec("LDR"), rng)
+        assert len(values) == 3
+
+    def test_shared_operand_definition_across_instructions(self):
+        """Paper: an operand definition can be common for multiple
+        instructions (LDR/STR sharing base and offset)."""
+        ops = _operands()
+        specs = [
+            _spec(),
+            InstructionSpec("STR", ["res", "base", "off"],
+                            "str op1, [op2, #op3]", "mem"),
+        ]
+        lib = InstructionLibrary(ops, specs)
+        assert lib.variant_count("STR") == lib.variant_count("LDR")

@@ -1,0 +1,137 @@
+"""Unit tests for dynamic class loading and run output recording
+(repro.core.loader, repro.core.output)."""
+
+import pytest
+
+from repro.core.errors import LoaderError
+from repro.core.individual import random_individual
+from repro.core.loader import instantiate, load_class
+from repro.core.output import OutputRecorder, individual_filename
+from repro.core.population import Population
+from repro.core.rng import make_rng
+from repro.fitness.default_fitness import DefaultFitness
+
+
+class TestLoadClass:
+    def test_loads_framework_class(self):
+        cls = load_class("repro.fitness.default_fitness.DefaultFitness")
+        assert cls is DefaultFitness
+
+    def test_loads_stdlib_class(self):
+        cls = load_class("collections.OrderedDict")
+        import collections
+        assert cls is collections.OrderedDict
+
+    def test_bare_name_rejected(self):
+        with pytest.raises(LoaderError, match="dotted"):
+            load_class("DefaultFitness")
+
+    def test_missing_module(self):
+        with pytest.raises(LoaderError, match="cannot import"):
+            load_class("repro.nothing.Whatever")
+
+    def test_missing_class(self):
+        with pytest.raises(LoaderError, match="no class"):
+            load_class("repro.fitness.default_fitness.Nope")
+
+    def test_non_class_attribute(self):
+        with pytest.raises(LoaderError, match="not a class"):
+            load_class("repro.core.rng.make_rng")
+
+
+class TestInstantiate:
+    def test_plain_instantiation(self):
+        obj = instantiate("repro.fitness.default_fitness.DefaultFitness")
+        assert isinstance(obj, DefaultFitness)
+
+    def test_base_class_check_passes_for_subclass(self):
+        obj = instantiate(
+            "repro.fitness.weighted.WeightedFitness",
+            DefaultFitness, [(0, 1.0, 1.0)])
+        assert obj.get_fitness([3.0], None) == pytest.approx(3.0)
+
+    def test_base_class_check_fails_for_unrelated(self):
+        with pytest.raises(LoaderError, match="inherit"):
+            instantiate("collections.OrderedDict", DefaultFitness)
+
+
+class TestIndividualFilename:
+    def test_paper_naming_convention(self, tiny_library):
+        """Paper III.D example: generation 1, id 10, measurements
+        1.30/1.33 -> '1_10_1.30_1.33.txt'."""
+        ind = random_individual(tiny_library, 4, make_rng(0), uid=10)
+        ind.generation = 1
+        ind.record_evaluation([1.2986, 1.3349], 1.2986)
+        assert individual_filename(ind) == "1_10_1.30_1.33.txt"
+
+    def test_no_measurements(self, tiny_library):
+        ind = random_individual(tiny_library, 4, make_rng(0), uid=3)
+        ind.generation = 0
+        assert individual_filename(ind) == "0_3.txt"
+
+
+class TestOutputRecorder:
+    def _evaluated_population(self, library, number=0):
+        rng = make_rng(7)
+        individuals = []
+        for i in range(4):
+            ind = random_individual(library, 6, rng, uid=i)
+            ind.generation = number
+            ind.record_evaluation([float(i) + 0.5, float(i)], float(i) + 0.5)
+            individuals.append(ind)
+        return Population(individuals, number=number)
+
+    def test_layout_created(self, tmp_path):
+        recorder = OutputRecorder(tmp_path / "run")
+        assert recorder.individuals_dir.is_dir()
+        assert recorder.populations_dir.is_dir()
+
+    def test_record_individual_writes_source(self, tmp_path, tiny_library):
+        recorder = OutputRecorder(tmp_path / "run")
+        pop = self._evaluated_population(tiny_library)
+        path = recorder.record_individual(pop[0], "source text")
+        assert path.read_text() == "source text"
+        assert path.name.startswith("0_0_")
+
+    def test_record_population_and_listing(self, tmp_path, tiny_library):
+        recorder = OutputRecorder(tmp_path / "run")
+        for number in range(3):
+            recorder.record_population(
+                self._evaluated_population(tiny_library, number))
+        files = recorder.population_files()
+        assert [f.name for f in files] == [
+            "population_0.bin", "population_1.bin", "population_2.bin"]
+
+    def test_population_files_sorted_numerically(self, tmp_path,
+                                                 tiny_library):
+        recorder = OutputRecorder(tmp_path / "run")
+        for number in (0, 2, 10, 1):
+            recorder.record_population(
+                self._evaluated_population(tiny_library, number))
+        numbers = [int(f.stem.split("_")[1])
+                   for f in recorder.population_files()]
+        assert numbers == [0, 1, 2, 10]
+
+    def test_fittest_individual_file_uses_first_measurement(self, tmp_path,
+                                                            tiny_library):
+        """The naming convention makes the fittest individual findable
+        with basic file tools (paper III.D)."""
+        recorder = OutputRecorder(tmp_path / "run")
+        pop = self._evaluated_population(tiny_library)
+        for ind in pop:
+            recorder.record_individual(ind, f"src {ind.uid}")
+        best = recorder.fittest_individual_file()
+        assert best is not None
+        assert best.read_text() == "src 3"   # uid 3 has measurement 3.5
+
+    def test_fittest_individual_file_empty_dir(self, tmp_path):
+        recorder = OutputRecorder(tmp_path / "run")
+        assert recorder.fittest_individual_file() is None
+
+    def test_record_provenance(self, tmp_path, tiny_config):
+        recorder = OutputRecorder(tmp_path / "run")
+        recorder.record_provenance(tiny_config)
+        assert (recorder.results_dir / "template.s").read_text() == \
+            tiny_config.template_text
+        assert "<gest_config>" in \
+            (recorder.results_dir / "config.xml").read_text()

@@ -1,0 +1,134 @@
+"""Unit tests for operand definitions (repro.core.operand)."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.operand import (ImmediateOperand, LabelOperand,
+                                RegisterOperand)
+from repro.core.rng import make_rng
+
+
+class TestRegisterOperand:
+    def test_choices_preserve_order(self):
+        op = RegisterOperand("r", ["x2", "x3", "x4"])
+        assert list(op.choices()) == ["x2", "x3", "x4"]
+
+    def test_duplicates_are_removed(self):
+        op = RegisterOperand("r", ["x2", "x3", "x2", "x3"])
+        assert list(op.choices()) == ["x2", "x3"]
+
+    def test_from_string_splits_on_whitespace(self):
+        op = RegisterOperand.from_string("r", "x2 x3  x4")
+        assert list(op.choices()) == ["x2", "x3", "x4"]
+
+    def test_cardinality(self):
+        assert RegisterOperand("r", ["x2", "x3", "x4"]).cardinality() == 3
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigError):
+            RegisterOperand("r", [])
+
+    def test_empty_strings_filtered_then_rejected(self):
+        with pytest.raises(ConfigError):
+            RegisterOperand("r", ["", ""])
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ConfigError):
+            RegisterOperand("", ["x1"])
+
+    def test_sample_returns_member(self):
+        op = RegisterOperand("r", ["x2", "x3", "x4"])
+        rng = make_rng(0)
+        for _ in range(20):
+            assert op.sample(rng) in {"x2", "x3", "x4"}
+
+    def test_sample_is_deterministic_per_seed(self):
+        op = RegisterOperand("r", ["x2", "x3", "x4"])
+        a = [op.sample(make_rng(7)) for _ in range(1)]
+        b = [op.sample(make_rng(7)) for _ in range(1)]
+        assert a == b
+
+    def test_sample_covers_all_choices(self):
+        op = RegisterOperand("r", ["x2", "x3", "x4"])
+        rng = make_rng(3)
+        seen = {op.sample(rng) for _ in range(100)}
+        assert seen == {"x2", "x3", "x4"}
+
+    def test_contains(self):
+        op = RegisterOperand("r", ["x2"])
+        assert op.contains("x2")
+        assert not op.contains("x9")
+
+    def test_kind(self):
+        assert RegisterOperand("r", ["x2"]).kind == "register"
+
+
+class TestImmediateOperand:
+    def test_figure4_example_has_33_values(self):
+        """The paper's example: 0..256 stride 8 = 33 values."""
+        op = ImmediateOperand("imm", 0, 256, 8)
+        assert op.cardinality() == 33
+
+    def test_values_are_strided(self):
+        op = ImmediateOperand("imm", 0, 24, 8)
+        assert list(op.choices()) == ["0", "8", "16", "24"]
+
+    def test_inclusive_maximum(self):
+        op = ImmediateOperand("imm", 0, 16, 8)
+        assert "16" in op.choices()
+
+    def test_max_not_on_stride_excluded(self):
+        op = ImmediateOperand("imm", 0, 20, 8)
+        assert list(op.choices()) == ["0", "8", "16"]
+
+    def test_single_value_range(self):
+        op = ImmediateOperand("imm", 5, 5, 1)
+        assert list(op.choices()) == ["5"]
+
+    def test_negative_range(self):
+        op = ImmediateOperand("imm", -8, 8, 8)
+        assert list(op.choices()) == ["-8", "0", "8"]
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ConfigError):
+            ImmediateOperand("imm", 0, 10, 0)
+
+    def test_negative_stride_rejected(self):
+        with pytest.raises(ConfigError):
+            ImmediateOperand("imm", 0, 10, -1)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigError):
+            ImmediateOperand("imm", 10, 0, 1)
+
+    def test_sample_within_range(self):
+        op = ImmediateOperand("imm", 0, 256, 8)
+        rng = make_rng(0)
+        for _ in range(50):
+            value = int(op.sample(rng))
+            assert 0 <= value <= 256
+            assert value % 8 == 0
+
+    def test_kind(self):
+        assert ImmediateOperand("imm", 0, 1).kind == "immediate"
+
+    def test_default_stride_is_one(self):
+        op = ImmediateOperand("imm", 0, 3)
+        assert op.cardinality() == 4
+
+
+class TestLabelOperand:
+    def test_default_pool_is_forward_local_label(self):
+        op = LabelOperand("lbl")
+        assert list(op.choices()) == ["1f"]
+
+    def test_custom_labels(self):
+        op = LabelOperand("lbl", ["1f", "2f"])
+        assert op.cardinality() == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            LabelOperand("lbl", [])
+
+    def test_kind(self):
+        assert LabelOperand("lbl").kind == "label"

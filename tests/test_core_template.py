@@ -1,0 +1,82 @@
+"""Unit tests for templates (repro.core.template)."""
+
+import pytest
+
+from repro.core.errors import TemplateError
+from repro.core.template import LOOP_MARKER, Template
+
+
+BASIC = "init line\n.loop\n#loop_code\ntail\n.endloop\n"
+
+
+class TestTemplateValidation:
+    def test_marker_required(self):
+        with pytest.raises(TemplateError, match="loop_code"):
+            Template("no marker here\n")
+
+    def test_single_marker_required(self):
+        with pytest.raises(TemplateError, match="exactly one"):
+            Template("#loop_code\n#loop_code\n")
+
+    def test_marker_must_be_whole_line(self):
+        # A marker embedded in a longer line does not count.
+        with pytest.raises(TemplateError):
+            Template("x #loop_code y\n")
+
+    def test_valid_template_accepted(self):
+        Template(BASIC)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "t.s"
+        path.write_text(BASIC)
+        template = Template.from_file(path)
+        assert template.name == str(path)
+
+    def test_from_missing_file(self, tmp_path):
+        with pytest.raises(TemplateError):
+            Template.from_file(tmp_path / "missing.s")
+
+
+class TestInstantiate:
+    def test_marker_replaced_by_body(self):
+        out = Template(BASIC).instantiate("add x1, x2, x3")
+        assert "#loop_code" not in out
+        assert "add x1, x2, x3" in out
+
+    def test_surrounding_lines_preserved(self):
+        out = Template(BASIC).instantiate("body")
+        lines = out.splitlines()
+        assert lines[0] == "init line"
+        assert lines[1] == ".loop"
+        assert lines[3] == "tail"
+        assert lines[4] == ".endloop"
+
+    def test_multi_line_body(self):
+        out = Template(BASIC).instantiate("one\ntwo\nthree")
+        lines = out.splitlines()
+        assert lines[2:5] == ["one", "two", "three"]
+
+    def test_indentation_applied_to_body(self):
+        template = Template(".loop\n    #loop_code\n.endloop\n")
+        out = template.instantiate("a\nb")
+        assert "    a\n    b" in out
+
+    def test_fixed_loop_code_survives(self):
+        """The paper: users may add fixed code (e.g. NOP padding) inside
+        the loop body alongside the generated individual."""
+        template = Template(".loop\nnop\n#loop_code\nnop\n.endloop\n")
+        out = template.instantiate("add x1, x2, x3")
+        lines = [l for l in out.splitlines() if l]
+        assert lines.count("nop") == 2
+        assert lines.index("nop") < lines.index("add x1, x2, x3")
+
+    def test_output_ends_with_newline(self):
+        assert Template(BASIC).instantiate("x").endswith("\n")
+
+    def test_empty_body_lines_not_indented(self):
+        template = Template(".loop\n  #loop_code\n.endloop\n")
+        out = template.instantiate("a\n\nb")
+        assert "\n\n" in out
+
+    def test_marker_constant(self):
+        assert LOOP_MARKER == "#loop_code"

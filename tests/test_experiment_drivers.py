@@ -1,0 +1,115 @@
+"""Smoke tests for the figure/table drivers at miniature scale.
+
+The benchmarks run the drivers at full scale and assert the paper's
+shapes; these tests only verify the drivers' plumbing — result
+structures, renderers, normalisation — so they run in seconds.
+"""
+
+import pytest
+
+from repro.experiments import (GAScale, clear_virus_cache, figure5,
+                               figure7, figure8, figure9,
+                               instruction_order_experiment,
+                               llc_stress_experiment,
+                               shared_memory_experiment, table3, table4)
+
+TINY = GAScale(population_size=6, generations=2, individual_size=12,
+               samples=2)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_virus_cache()
+    yield
+    clear_virus_cache()
+
+
+class TestPowerFigureDriver:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return figure5(scale=TINY)
+
+    def test_contains_all_series(self, fig5):
+        expected = {"GA_virus_cortex_a15", "GA_virus_cortex_a7",
+                    "coremark", "imdct", "fdct", "a15_manual_stress"}
+        assert set(fig5.power_w) == expected
+
+    def test_normalised_reference_is_one(self, fig5):
+        assert fig5.normalized["coremark"] == pytest.approx(1.0)
+
+    def test_rows_sorted_descending(self, fig5):
+        values = [v for _, v in fig5.rows()]
+        assert values == sorted(values, reverse=True)
+
+    def test_render_is_bar_chart(self, fig5):
+        text = fig5.render()
+        assert "cortex_a15" in text and "#" in text
+
+    def test_margin_helper(self, fig5):
+        assert fig5.virus_margin_over_manual() > 0
+
+
+class TestTemperatureDriver:
+    def test_figure7_structure(self):
+        result = figure7(scale=TINY)
+        assert "powerVirus" in result.temperature_c
+        assert "IPCvirus" in result.temperature_c
+        assert "bodytrack" in result.temperature_c
+        assert result.normalized["bodytrack"] == pytest.approx(1.0)
+        rise = result.rise_over_ambient
+        assert all(v > 0 for v in rise.values())
+        assert "Figure 7" in result.render()
+
+
+class TestTableDrivers:
+    def test_table3_structure(self):
+        result = table3(scale=TINY)
+        assert sum(v for k, v in result.a15_mix.items()) == 12
+        assert "Cortex-A15" in result.render()
+
+    def test_table4_structure(self):
+        result = table4(scale=TINY)
+        assert set(result.relative_ipc) == {
+            "powerVirus", "powerVirusSimple", "IPCvirus"}
+        assert result.relative_ipc["powerVirus"] == pytest.approx(1.0)
+        assert result.relative_power["powerVirus"] == pytest.approx(1.0)
+        assert "# Unique Instr." in result.render()
+
+
+class TestVoltageDrivers:
+    def test_figure8_structure(self):
+        result = figure8(scale=TINY)
+        assert "didtVirus" in result.peak_to_peak_v
+        assert "prime95" in result.peak_to_peak_v
+        assert result.virus_margin() > 0
+        assert "mV" in result.render()
+
+    def test_figure9_structure(self):
+        result = figure9(scale=TINY)
+        assert "didtVirus" in result.vmin_v
+        ranked = result.ranked()
+        assert ranked[0].vmin_v == max(result.vmin_v.values())
+        assert "V_MIN" in result.render()
+
+
+class TestExtensionDrivers:
+    def test_llc_stress_structure(self):
+        result = llc_stress_experiment(seed=41, scale=TINY)
+        assert set(result.runs) == {"llcVirus", "l1_resident",
+                                    "streaming"}
+        misses = result.llc_misses_per_kinstr()
+        assert all(v >= 0 for v in misses.values())
+        assert "LLC misses" in result.render()
+
+    def test_shared_memory_structure(self):
+        result = shared_memory_experiment(seed=51, scale=TINY)
+        assert set(result.runs) == {"privateVirus", "sharedVirus"}
+        assert result.runs["privateVirus"].noc_power_w == 0.0
+        assert "NoC" in result.render()
+
+    def test_instruction_order_structure(self):
+        result = instruction_order_experiment(orderings=5, seed=3)
+        assert len(result.powers_w) == 5
+        assert result.max_w >= result.min_w
+        assert result.spread >= 0
+        assert "orderings" in result.render()

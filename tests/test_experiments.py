@@ -1,0 +1,151 @@
+"""Tests for the experiment harness (repro.experiments).
+
+GA-bearing drivers run here at very small scale — the full-scale shape
+assertions live in benchmarks/.  These tests cover the plumbing:
+memoisation, scoring methodology, runtime model, scale math.
+"""
+
+import pytest
+
+from repro.experiments import (GAScale, MEASUREMENTS, clear_virus_cache,
+                               didt_loop_length, didt_scale,
+                               estimate_runtime, evolve_virus,
+                               make_engine, make_machine, score_baselines)
+from repro.experiments.runtime import RuntimeEstimate
+
+
+TINY = GAScale(population_size=6, generations=2, individual_size=10,
+               samples=2)
+
+
+class TestGAScale:
+    def test_default_mutation_targets_one_per_individual(self):
+        scale = GAScale(individual_size=50)
+        assert scale.effective_mutation_rate() == pytest.approx(0.02)
+
+    def test_short_loops_get_higher_rate(self):
+        scale = GAScale(individual_size=15)
+        assert scale.effective_mutation_rate() == pytest.approx(1 / 15,
+                                                                abs=1e-3)
+
+    def test_explicit_rate_wins(self):
+        scale = GAScale(individual_size=50, mutation_rate=0.05)
+        assert scale.effective_mutation_rate() == 0.05
+
+
+class TestMakeMachine:
+    def test_environment_matches_table2(self):
+        assert make_machine("cortex_a15").environment == "bare_metal"
+        assert make_machine("cortex_a7").environment == "bare_metal"
+        assert make_machine("xgene2").environment == "os"
+        assert make_machine("athlon_x4").environment == "os"
+
+    def test_environment_override(self):
+        assert make_machine("xgene2",
+                            environment="bare_metal").environment == \
+            "bare_metal"
+
+
+class TestMakeEngine:
+    def test_unknown_metric_rejected(self):
+        machine = make_machine("cortex_a15")
+        with pytest.raises(ValueError, match="unknown metric"):
+            make_engine(machine, "luminosity", 0, TINY)
+
+    def test_metric_registry(self):
+        assert set(MEASUREMENTS) == {"power", "temperature", "ipc",
+                                     "didt"}
+
+    def test_engine_runs(self):
+        machine = make_machine("cortex_a7", seed=1)
+        engine = make_engine(machine, "power", 1, TINY)
+        history = engine.run()
+        assert history.best_individual.fitness > 0
+
+
+class TestEvolveVirus:
+    def test_memoisation_returns_same_object(self):
+        clear_virus_cache()
+        a = evolve_virus("cortex_a7", "power", 5, scale=TINY)
+        b = evolve_virus("cortex_a7", "power", 5, scale=TINY)
+        assert a is b
+        clear_virus_cache()
+
+    def test_cache_key_includes_scale(self):
+        clear_virus_cache()
+        a = evolve_virus("cortex_a7", "power", 5, scale=TINY)
+        other = GAScale(population_size=6, generations=3,
+                        individual_size=10, samples=2)
+        b = evolve_virus("cortex_a7", "power", 5, scale=other)
+        assert a is not b
+        clear_virus_cache()
+
+    def test_use_cache_false_bypasses(self):
+        clear_virus_cache()
+        a = evolve_virus("cortex_a7", "power", 5, scale=TINY)
+        b = evolve_virus("cortex_a7", "power", 5, scale=TINY,
+                         use_cache=False)
+        assert a is not b
+        # Same seed, same config: identical genome regardless.
+        assert a.individual.genome_key() == b.individual.genome_key()
+        clear_virus_cache()
+
+    def test_all_cores_scoring(self):
+        clear_virus_cache()
+        virus = evolve_virus("cortex_a7", "power", 5, scale=TINY)
+        assert virus.all_cores_run.cores_used == 3   # Table II: A7 x3
+        assert virus.source
+        assert virus.fitness > 0
+        clear_virus_cache()
+
+
+class TestScoreBaselines:
+    def test_scores_requested_workloads(self):
+        results = score_baselines("cortex_a7", ["coremark", "fdct"],
+                                  seed=0)
+        assert set(results) == {"coremark", "fdct"}
+        for run in results.values():
+            assert run.cores_used == 3
+
+
+class TestDidtScale:
+    def test_loop_length_follows_resonance_rule(self):
+        machine = make_machine("athlon_x4")
+        expected = machine.pdn.resonant_loop_length(
+            machine.arch.max_ipc / 2)
+        assert didt_loop_length(machine) == expected
+
+    def test_loop_length_in_paper_range(self):
+        """The paper: the rule of thumb typically yields 15-50."""
+        assert 15 <= didt_loop_length(make_machine("athlon_x4")) <= 50
+
+    def test_scale_mutation_rate_targets_one_mutation(self):
+        scale = didt_scale()
+        expected = scale.individual_size * scale.effective_mutation_rate()
+        assert 0.9 < expected < 2.1
+
+
+class TestRuntimeModel:
+    def test_paper_example_is_about_seven_hours(self):
+        """50 individuals x 100 generations x ~5s -> ~7 hours."""
+        estimate = estimate_runtime()
+        assert estimate.measurements == 5000
+        assert 6.5 < estimate.total_hours < 8.0
+
+    def test_runtime_linear_in_population(self):
+        small = estimate_runtime(population_size=25)
+        big = estimate_runtime(population_size=50)
+        assert big.total_s == pytest.approx(2 * small.total_s)
+
+    def test_invalid_inputs(self):
+        from repro.core.errors import ConfigError
+        with pytest.raises(ConfigError):
+            estimate_runtime(population_size=0)
+        with pytest.raises(ConfigError):
+            estimate_runtime(measurement_s=0)
+
+    def test_estimate_is_frozen_dataclass(self):
+        estimate = estimate_runtime()
+        assert isinstance(estimate, RuntimeEstimate)
+        with pytest.raises(Exception):
+            estimate.population_size = 1

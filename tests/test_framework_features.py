@@ -1,0 +1,198 @@
+"""Tests for framework conveniences: measurement repetition policy,
+atomic instruction sequences, and the `gest measure` CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import (GAParameters, GeneticEngine, RunConfig,
+                        random_individual)
+from repro.core.errors import MeasurementError
+from repro.core.instruction import InstructionLibrary, InstructionSpec
+from repro.core.operand import RegisterOperand
+from repro.core.rng import make_rng
+from repro.cpu import SimulatedMachine, SimulatedTarget
+from repro.fitness import DefaultFitness
+from repro.isa import ArmAssembler, arm_template
+from repro.measurement import PowerMeasurement
+
+
+# ---------------------------------------------------------------------------
+# measurement repetition
+# ---------------------------------------------------------------------------
+
+class CountingPower(PowerMeasurement):
+    def __init__(self, *args, **kwargs):
+        self.calls = 0
+        super().__init__(*args, **kwargs)
+
+    def measure(self, source_text, individual):
+        self.calls += 1
+        return super().measure(source_text, individual)
+
+
+SRC = ".loop\nvmul v0, v8, v9\nldr x7, [x10, #8]\n.endloop\n"
+
+
+def _os_target(seed=6):
+    machine = SimulatedMachine("xgene2", environment="os", seed=seed,
+                               sim_cycles=600)
+    t = SimulatedTarget(machine)
+    t.connect()
+    return t
+
+
+class TestMeasurementRepeats:
+    def test_default_is_single_shot(self):
+        meas = CountingPower(_os_target(), {"samples": "2"})
+        meas.measure_repeated(SRC, None)
+        assert meas.calls == 1
+
+    def test_repeats_invoke_measure_n_times(self):
+        meas = CountingPower(_os_target(), {"samples": "2",
+                                            "repeats": "4"})
+        values = meas.measure_repeated(SRC, None)
+        assert meas.calls == 4
+        assert len(values) == 2
+
+    def test_repeats_reduce_variance(self):
+        def spread(repeats):
+            meas = PowerMeasurement(
+                _os_target(seed=8),
+                {"samples": "1", "repeats": str(repeats)})
+            values = [meas.measure_repeated(SRC, None)[0]
+                      for _ in range(12)]
+            mean = sum(values) / len(values)
+            return max(abs(v - mean) for v in values)
+        assert spread(8) < spread(1)
+
+    def test_median_aggregate(self):
+        class Scripted(PowerMeasurement):
+            sequence = iter([1.0, 100.0, 2.0])
+
+            def measure(self, source_text, individual):
+                return [next(self.sequence)]
+
+        meas = Scripted(_os_target(), {"repeats": "3",
+                                       "aggregate": "median"})
+        # Median resists the 100.0 outlier.
+        assert meas.measure_repeated(SRC, None) == [2.0]
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(MeasurementError):
+            PowerMeasurement(_os_target(), {"repeats": "0"})
+
+    def test_bad_aggregate_rejected(self):
+        with pytest.raises(MeasurementError):
+            PowerMeasurement(_os_target(), {"aggregate": "mode"})
+
+    def test_engine_uses_repeated_path(self, tiny_template):
+        operands = [RegisterOperand("r", ["x1", "x2"])]
+        specs = [InstructionSpec("ADD", ["r", "r", "r"],
+                                 "add op1, op2, op3", "int_short")]
+        library = InstructionLibrary(operands, specs)
+        ga = GAParameters(population_size=4, individual_size=4,
+                          mutation_rate=0.1, generations=1, seed=0)
+        config = RunConfig(ga=ga, library=library,
+                           template_text=tiny_template.text)
+        meas = CountingPower(_os_target(), {"samples": "1",
+                                            "repeats": "3"})
+        GeneticEngine(config, meas, DefaultFitness()).run()
+        assert meas.calls == 4 * 3   # population x repeats
+
+
+# ---------------------------------------------------------------------------
+# atomic instruction sequences (paper III.B.1)
+# ---------------------------------------------------------------------------
+
+class TestAtomicSequences:
+    """'the experimenter can specify both individual-instructions as
+    well as whole instructions sequences that will be atomically
+    included in the GA optimization search' — multi-line format
+    strings are that mechanism."""
+
+    @pytest.fixture
+    def sequence_library(self):
+        operands = [
+            RegisterOperand("acc", ["x1", "x2"]),
+            RegisterOperand("base", ["x10"]),
+        ]
+        specs = [
+            # A load-multiply-store macro: three instructions, one gene.
+            InstructionSpec(
+                "LDMULST", ["acc", "base"],
+                "ldr op1, [op2, #8]\nmul op1, op1, op1\n"
+                "str op1, [op2, #16]", "mem"),
+            InstructionSpec("NOP", [], "nop", "nop"),
+        ]
+        return InstructionLibrary(operands, specs)
+
+    def test_sequence_renders_three_lines(self, sequence_library, rng):
+        instr = sequence_library.random_instruction(rng)
+        while instr.name != "LDMULST":
+            instr = sequence_library.random_instruction(rng)
+        assert len(instr.render().splitlines()) == 3
+
+    def test_sequence_assembles_atomically(self, sequence_library, rng):
+        ind = random_individual(sequence_library, 6, rng)
+        program = ArmAssembler().assemble(ind.render_body())
+        macros = sum(1 for i in ind.instructions if i.name == "LDMULST")
+        nops = sum(1 for i in ind.instructions if i.name == "NOP")
+        assert program.loop_length == 3 * macros + nops
+
+    def test_ga_search_over_sequences(self, sequence_library,
+                                      tiny_template):
+        ga = GAParameters(population_size=6, individual_size=6,
+                          mutation_rate=0.15, generations=4, seed=2)
+        config = RunConfig(ga=ga, library=sequence_library,
+                           template_text=tiny_template.text)
+        machine = SimulatedMachine("cortex_a15", seed=2, sim_cycles=600)
+        target = SimulatedTarget(machine)
+        target.connect()
+        engine = GeneticEngine(config,
+                               PowerMeasurement(target, {"samples": "2"}),
+                               DefaultFitness())
+        history = engine.run()
+        # The macro draws far more power than NOPs; it must dominate.
+        best = history.best_individual
+        macros = sum(1 for i in best.instructions if i.name == "LDMULST")
+        assert macros >= 4
+
+
+# ---------------------------------------------------------------------------
+# gest measure
+# ---------------------------------------------------------------------------
+
+class TestCliMeasure:
+    def test_measure_prints_sensors(self, tmp_path, capsys):
+        source = tmp_path / "probe.s"
+        source.write_text(SRC)
+        rc = main(["measure", str(source), "--platform", "cortex_a7",
+                   "--cores", "2", "--duration", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "IPC:" in out
+        assert "avg chip power:" in out
+        assert "status:          ok" in out
+
+    def test_measure_shows_noc_power_for_shared_code(self, tmp_path,
+                                                     capsys):
+        from repro.core.template import Template
+        from repro.isa import arm_shared_template
+        source = tmp_path / "shared.s"
+        source.write_text(Template(arm_shared_template()).instantiate(
+            "ldr x7, [x11, #8]\nvmul v0, v1, v2"))
+        rc = main(["measure", str(source), "--platform", "xgene2"])
+        assert rc == 0
+        assert "NoC power:" in capsys.readouterr().out
+
+    def test_measure_missing_file(self, tmp_path, capsys):
+        rc = main(["measure", str(tmp_path / "none.s")])
+        assert rc == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_measure_bad_assembly(self, tmp_path, capsys):
+        source = tmp_path / "bad.s"
+        source.write_text("frobnicate x1\n")
+        rc = main(["measure", str(source)])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,199 @@
+"""Unit tests for the ARM-flavoured front-end (repro.isa.arm)."""
+
+import pytest
+
+from repro.core.errors import AssemblyError
+from repro.isa.model import FLAGS_REGISTER, InstrClass
+
+
+def _one(arm_asm, line):
+    return arm_asm.assemble(line + "\n").loop[0]
+
+
+class TestIntegerOps:
+    def test_add_three_registers(self, arm_asm):
+        d = _one(arm_asm, "add x1, x2, x3")
+        assert d.iclass is InstrClass.INT_SHORT
+        assert d.group == "alu"
+        assert d.reads == ("x2", "x3")
+        assert d.writes == ("x1",)
+
+    def test_add_immediate_form(self, arm_asm):
+        d = _one(arm_asm, "add x1, x2, #16")
+        assert d.reads == ("x2",)
+        assert d.immediate == 16
+
+    @pytest.mark.parametrize("opcode", ["sub", "and", "orr", "eor", "bic"])
+    def test_alu_family(self, arm_asm, opcode):
+        d = _one(arm_asm, f"{opcode} x4, x5, x6")
+        assert d.iclass is InstrClass.INT_SHORT
+
+    @pytest.mark.parametrize("opcode", ["lsl", "lsr", "asr", "ror"])
+    def test_shift_family(self, arm_asm, opcode):
+        d = _one(arm_asm, f"{opcode} x1, x2, #3")
+        assert d.group == "shift"
+
+    def test_mul_is_long_latency(self, arm_asm):
+        d = _one(arm_asm, "mul x1, x2, x3")
+        assert d.iclass is InstrClass.INT_LONG
+        assert d.group == "mul"
+
+    def test_mla_reads_three_sources(self, arm_asm):
+        d = _one(arm_asm, "mla x1, x2, x3, x4")
+        assert d.reads == ("x2", "x3", "x4")
+        assert d.writes == ("x1",)
+
+    @pytest.mark.parametrize("opcode", ["sdiv", "udiv"])
+    def test_division(self, arm_asm, opcode):
+        d = _one(arm_asm, f"{opcode} x1, x2, x3")
+        assert d.group == "div"
+        assert d.iclass is InstrClass.INT_LONG
+
+    def test_subs_writes_flags(self, arm_asm):
+        d = _one(arm_asm, "subs x0, x0, #1")
+        assert FLAGS_REGISTER in d.writes
+        assert "x0" in d.writes
+        assert "x0" in d.reads
+
+    def test_cmp_register(self, arm_asm):
+        d = _one(arm_asm, "cmp x1, x2")
+        assert d.writes == (FLAGS_REGISTER,)
+        assert d.reads == ("x1", "x2")
+
+    def test_cmp_immediate(self, arm_asm):
+        d = _one(arm_asm, "cmp x1, #0")
+        assert d.immediate == 0
+
+    def test_mov_register(self, arm_asm):
+        d = _one(arm_asm, "mov x1, x2")
+        assert d.reads == ("x2",)
+
+    def test_mov_hex_immediate(self, arm_asm):
+        d = _one(arm_asm, "mov x1, #0xFF")
+        assert d.immediate == 255
+
+    def test_bad_register_rejected(self, arm_asm):
+        with pytest.raises(AssemblyError):
+            _one(arm_asm, "add x1, x99, x2")
+
+    def test_wrong_arity_rejected(self, arm_asm):
+        with pytest.raises(AssemblyError, match="expects 3"):
+            _one(arm_asm, "add x1, x2")
+
+
+class TestFloatSimd:
+    @pytest.mark.parametrize("opcode,iclass", [
+        ("fadd", InstrClass.FLOAT), ("fsub", InstrClass.FLOAT),
+        ("fmul", InstrClass.FLOAT),
+        ("vadd", InstrClass.SIMD), ("vmul", InstrClass.SIMD),
+        ("veor", InstrClass.SIMD),
+    ])
+    def test_vector_three_operand(self, arm_asm, opcode, iclass):
+        d = _one(arm_asm, f"{opcode} v1, v2, v3")
+        assert d.iclass is iclass
+        assert d.writes == ("v1",)
+
+    def test_fma_reads_destination(self, arm_asm):
+        """Fused multiply-accumulate also reads its accumulator."""
+        d = _one(arm_asm, "fmla v1, v2, v3")
+        assert set(d.reads) == {"v1", "v2", "v3"}
+        assert d.group == "fma"
+
+    def test_vfma_is_simd(self, arm_asm):
+        d = _one(arm_asm, "vfma v1, v2, v3")
+        assert d.iclass is InstrClass.SIMD
+
+    def test_lane_qualified_register_accepted(self, arm_asm):
+        d = _one(arm_asm, "vadd v1.4s, v2.4s, v3.4s")
+        assert d.writes == ("v1",)
+
+    def test_fdiv_group(self, arm_asm):
+        d = _one(arm_asm, "fdiv v0, v1, v2")
+        assert d.group == "fdiv"
+
+    def test_int_register_in_vector_op_rejected(self, arm_asm):
+        with pytest.raises(AssemblyError):
+            _one(arm_asm, "fadd v1, x2, v3")
+
+
+class TestMemory:
+    def test_ldr_with_offset(self, arm_asm):
+        d = _one(arm_asm, "ldr x7, [x10, #8]")
+        assert d.iclass is InstrClass.MEM_LOAD
+        assert d.mem_base == "x10"
+        assert d.mem_offset == 8
+        assert d.reads == ("x10",)
+        assert d.writes == ("x7",)
+
+    def test_ldr_no_offset(self, arm_asm):
+        d = _one(arm_asm, "ldr x7, [x10]")
+        assert d.mem_offset == 0
+
+    def test_vector_ldr(self, arm_asm):
+        d = _one(arm_asm, "ldr v2, [x10, #16]")
+        assert d.writes == ("v2",)
+
+    def test_str_reads_source_and_base(self, arm_asm):
+        d = _one(arm_asm, "str x3, [x11, #24]")
+        assert d.iclass is InstrClass.MEM_STORE
+        assert set(d.reads) == {"x3", "x11"}
+        assert d.writes == ()
+
+    def test_ldp_two_destinations(self, arm_asm):
+        d = _one(arm_asm, "ldp x7, x8, [x10, #0]")
+        assert d.writes == ("x7", "x8")
+        assert d.group == "load_pair"
+
+    def test_ldp_same_destination_rejected(self, arm_asm):
+        """ISA-incompatible operands produce compile failures (the
+        paper's misconfiguration path)."""
+        with pytest.raises(AssemblyError, match="differ"):
+            _one(arm_asm, "ldp x7, x7, [x10, #0]")
+
+    def test_stp(self, arm_asm):
+        d = _one(arm_asm, "stp x1, x2, [x10, #8]")
+        assert set(d.reads) == {"x1", "x2", "x10"}
+
+    def test_bad_memory_operand(self, arm_asm):
+        with pytest.raises(AssemblyError):
+            _one(arm_asm, "ldr x7, x10")
+
+
+class TestBranches:
+    def test_unconditional_forward(self, arm_asm):
+        program = arm_asm.assemble(".loop\nb 1f\n1:\nnop\n.endloop\n")
+        d = program.loop[0]
+        assert d.iclass is InstrClass.BRANCH
+        assert d.reads == ()
+
+    @pytest.mark.parametrize("opcode", ["bne", "beq", "bgt", "blt"])
+    def test_conditional_reads_flags(self, arm_asm, opcode):
+        program = arm_asm.assemble(
+            f".loop\n1:\nnop\n{opcode} 1b\n.endloop\n")
+        d = program.loop[1]
+        assert d.reads == (FLAGS_REGISTER,)
+
+    def test_cbnz_reads_register(self, arm_asm):
+        program = arm_asm.assemble(".loop\ncbnz x3, 1f\n1:\nnop\n.endloop\n")
+        d = program.loop[0]
+        assert d.reads == ("x3",)
+        assert d.branch_target == 1
+
+    def test_nop(self, arm_asm):
+        d = _one(arm_asm, "nop")
+        assert d.iclass is InstrClass.NOP
+        assert d.reads == () and d.writes == ()
+
+
+class TestGaCatalogCompatibility:
+    def test_every_catalog_instruction_assembles(self, arm_lib, arm_asm,
+                                                 rng):
+        """Every concrete form the GA can generate must be valid input
+        for the target's toolchain."""
+        for name in arm_lib.names:
+            spec = arm_lib.spec(name)
+            for _ in range(10):
+                values = arm_lib.sample_values(spec, rng)
+                text = spec.render(values)
+                program = arm_asm.assemble(text)
+                assert program.loop_length >= 1

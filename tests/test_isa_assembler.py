@@ -1,0 +1,191 @@
+"""Unit tests for the shared assembler machinery
+(repro.isa.assembler) using the ARM front-end."""
+
+import pytest
+
+from repro.core.errors import AssemblyError
+from repro.isa import split_operands
+from repro.isa.model import InstrClass
+
+
+class TestSplitOperands:
+    def test_simple_commas(self):
+        assert split_operands("x1, x2, x3") == ["x1", "x2", "x3"]
+
+    def test_bracketed_group_kept_intact(self):
+        assert split_operands("x1, [x10, #8]") == ["x1", "[x10, #8]"]
+
+    def test_nested_whitespace(self):
+        assert split_operands(" x1 ,  x2 ") == ["x1", "x2"]
+
+    def test_empty(self):
+        assert split_operands("") == []
+
+    def test_unbalanced_open(self):
+        with pytest.raises(AssemblyError):
+            split_operands("[x10, #8")
+
+    def test_unbalanced_close(self):
+        with pytest.raises(AssemblyError):
+            split_operands("x10]")
+
+
+class TestSections:
+    def test_init_and_loop_split(self, arm_asm):
+        program = arm_asm.assemble(
+            "mov x1, #1\n.loop\nadd x2, x3, x4\n.endloop\n")
+        assert len(program.init) == 1
+        assert len(program.loop) == 1
+
+    def test_bare_program_is_all_loop(self, arm_asm):
+        program = arm_asm.assemble("add x1, x2, x3\nsub x2, x3, x4\n")
+        assert program.init == []
+        assert len(program.loop) == 2
+
+    def test_duplicate_loop_rejected(self, arm_asm):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            arm_asm.assemble(".loop\nnop\n.endloop\n.loop\nnop\n.endloop\n")
+
+    def test_endloop_without_loop(self, arm_asm):
+        with pytest.raises(AssemblyError, match="without"):
+            arm_asm.assemble("nop\n.endloop\n")
+
+    def test_unterminated_loop(self, arm_asm):
+        with pytest.raises(AssemblyError, match="endloop"):
+            arm_asm.assemble(".loop\nnop\n")
+
+    def test_instruction_after_endloop_rejected(self, arm_asm):
+        with pytest.raises(AssemblyError, match="after"):
+            arm_asm.assemble(".loop\nnop\n.endloop\nnop\n")
+
+    def test_other_directives_ignored(self, arm_asm):
+        program = arm_asm.assemble(
+            ".text\n.global main\n.loop\nnop\n.endloop\n")
+        assert len(program.loop) == 1
+
+
+class TestComments:
+    def test_double_slash_comment(self, arm_asm):
+        program = arm_asm.assemble("// whole line\nadd x1, x2, x3 // tail\n")
+        assert len(program.loop) == 1
+
+    def test_semicolon_comment(self, arm_asm):
+        program = arm_asm.assemble("; only comment\nnop ; done\n")
+        assert len(program.loop) == 1
+
+    def test_blank_lines_ignored(self, arm_asm):
+        program = arm_asm.assemble("\n\nnop\n\n")
+        assert len(program.loop) == 1
+
+    def test_hash_not_a_comment(self, arm_asm):
+        """'#' introduces immediates, not comments."""
+        program = arm_asm.assemble("mov x1, #42\n")
+        assert program.loop[0].immediate == 42
+
+
+class TestLabels:
+    def test_named_label_backward_branch(self, arm_asm):
+        program = arm_asm.assemble(
+            ".loop\ntop:\nadd x1, x2, x3\nsubs x0, x0, #1\nbne top\n"
+            ".endloop\n")
+        branch = program.loop[-1]
+        assert branch.branch_target == 0
+        assert branch.backward
+
+    def test_numeric_forward_label(self, arm_asm):
+        program = arm_asm.assemble(
+            ".loop\nb 1f\n1:\nadd x1, x2, x3\n.endloop\n")
+        branch = program.loop[0]
+        assert branch.branch_target == 1
+        assert not branch.backward
+
+    def test_repeated_numeric_labels_resolve_nearest(self, arm_asm):
+        program = arm_asm.assemble(
+            ".loop\nb 1f\n1:\nnop\nb 1f\n1:\nnop\n.endloop\n")
+        first, second = program.loop[0], program.loop[2]
+        assert first.branch_target == 1
+        assert second.branch_target == 3
+
+    def test_numeric_backward_label(self, arm_asm):
+        program = arm_asm.assemble(
+            ".loop\n1:\nnop\nb 1b\n.endloop\n")
+        branch = program.loop[1]
+        assert branch.branch_target == 0
+        assert branch.backward
+
+    def test_undefined_label(self, arm_asm):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            arm_asm.assemble("b nowhere\n")
+
+    def test_duplicate_named_label(self, arm_asm):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            arm_asm.assemble("x:\nnop\nx:\nnop\n")
+
+    def test_loop_branch_to_init_label_maps_to_loop_start(self, arm_asm):
+        """The classic decrement-and-branch pattern where the label sits
+        just before .loop."""
+        program = arm_asm.assemble(
+            "mov x0, #10\nstart:\n.loop\nnop\nbne start\n.endloop\n")
+        assert program.loop[1].branch_target == 0
+
+    def test_missing_forward_numeric_label(self, arm_asm):
+        with pytest.raises(AssemblyError, match="forward"):
+            arm_asm.assemble(".loop\nb 1f\nnop\n.endloop\n")
+
+    def test_label_and_instruction_on_one_line(self, arm_asm):
+        program = arm_asm.assemble(".loop\ntop: nop\nb top\n.endloop\n")
+        assert len(program.loop) == 2
+        assert program.loop[1].branch_target == 0
+
+
+class TestErrors:
+    def test_unknown_opcode_reports_line(self, arm_asm):
+        with pytest.raises(AssemblyError, match="line 2"):
+            arm_asm.assemble("nop\nfrobnicate x1\n")
+
+    def test_error_carries_opcode_name(self, arm_asm):
+        with pytest.raises(AssemblyError, match="frobnicate"):
+            arm_asm.assemble("frobnicate x1\n")
+
+
+class TestRegisterValueExtraction:
+    def test_mov_immediates_captured(self, arm_asm):
+        program = arm_asm.assemble(
+            "mov x1, #0xAAAAAAAAAAAAAAAA\nmov x2, #5\n"
+            ".loop\nnop\n.endloop\n")
+        assert program.register_values["x1"] == 0xAAAAAAAAAAAAAAAA
+        assert program.register_values["x2"] == 5
+
+    def test_fmov_immediates_captured(self, arm_asm):
+        program = arm_asm.assemble(
+            "fmov v3, #0x5555555555555555\n.loop\nnop\n.endloop\n")
+        assert program.register_values["v3"] == 0x5555555555555555
+
+    def test_non_immediate_moves_ignored(self, arm_asm):
+        program = arm_asm.assemble(
+            "mov x1, x2\n.loop\nnop\n.endloop\n")
+        assert "x1" not in program.register_values
+
+
+class TestProgramQueries:
+    def test_class_counts(self, arm_asm):
+        program = arm_asm.assemble(
+            ".loop\nadd x1, x2, x3\nmul x1, x2, x3\nldr x7, [x10, #8]\n"
+            "str x1, [x10, #8]\nfadd v0, v1, v2\nb 1f\n1:\nnop\n.endloop\n")
+        counts = program.class_counts()
+        assert counts[InstrClass.INT_SHORT] == 1
+        assert counts[InstrClass.INT_LONG] == 1
+        assert counts[InstrClass.MEM_LOAD] == 1
+        assert counts[InstrClass.MEM_STORE] == 1
+        assert counts[InstrClass.FLOAT] == 1
+        assert counts[InstrClass.BRANCH] == 1
+        assert counts[InstrClass.NOP] == 1
+
+    def test_table_breakdown_groups_float_simd(self, arm_asm):
+        program = arm_asm.assemble(
+            ".loop\nfadd v0, v1, v2\nvmul v3, v4, v5\n.endloop\n")
+        assert program.table_breakdown() == {"Float/SIMD": 2}
+
+    def test_loop_length(self, arm_asm):
+        program = arm_asm.assemble(".loop\nnop\nnop\nnop\n.endloop\n")
+        assert program.loop_length == 3

@@ -1,0 +1,118 @@
+"""Unit tests for the decoded-instruction model (repro.isa.model) and
+microarchitecture lookup helpers (repro.cpu.microarch)."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.cpu.microarch import (MicroArch, PDNParams, ThermalParams,
+                                 microarch_for)
+from repro.isa.model import (DecodedInstruction, InstrClass, Program,
+                             registers_named)
+
+
+class TestInstrClass:
+    def test_memory_classification(self):
+        assert InstrClass.MEM_LOAD.is_memory
+        assert InstrClass.MEM_STORE.is_memory
+        assert not InstrClass.INT_SHORT.is_memory
+        assert not InstrClass.BRANCH.is_memory
+
+    @pytest.mark.parametrize("iclass,category", [
+        (InstrClass.INT_SHORT, "ShortInt"),
+        (InstrClass.INT_LONG, "LongInt"),
+        (InstrClass.FLOAT, "Float/SIMD"),
+        (InstrClass.SIMD, "Float/SIMD"),
+        (InstrClass.MEM_LOAD, "Mem"),
+        (InstrClass.MEM_STORE, "Mem"),
+        (InstrClass.BRANCH, "Branch"),
+        (InstrClass.NOP, "Nop"),
+    ])
+    def test_table_categories(self, iclass, category):
+        assert iclass.table_category == category
+
+
+class TestDecodedInstruction:
+    def test_convenience_predicates(self):
+        load = DecodedInstruction("ldr", InstrClass.MEM_LOAD)
+        store = DecodedInstruction("str", InstrClass.MEM_STORE)
+        branch = DecodedInstruction("b", InstrClass.BRANCH)
+        assert load.is_load and not load.is_store
+        assert store.is_store and not store.is_load
+        assert branch.is_branch
+
+    def test_defaults(self):
+        instr = DecodedInstruction("nop", InstrClass.NOP)
+        assert instr.reads == () and instr.writes == ()
+        assert instr.immediate is None
+        assert instr.branch_target is None
+        assert not instr.backward
+
+
+class TestProgram:
+    def test_empty_program(self):
+        program = Program(name="empty")
+        assert program.loop_length == 0
+        assert program.class_counts() == {}
+        assert program.table_breakdown() == {}
+
+    def test_registers_named(self):
+        assert registers_named("x", 3) == ("x0", "x1", "x2")
+
+
+class TestMicroArchHelpers:
+    @pytest.fixture
+    def arch(self):
+        return microarch_for("cortex_a15")
+
+    def test_latency_explicit_and_fallback(self, arch):
+        assert arch.latency_of("div", InstrClass.INT_LONG) == 19
+        # Unknown group falls back to the class default.
+        assert arch.latency_of("exotic", InstrClass.INT_SHORT) == 1
+
+    def test_epi_explicit_and_fallback(self, arch):
+        assert arch.epi_of("vmul", InstrClass.SIMD) == 185.0
+        assert arch.epi_of("exotic", InstrClass.SIMD) == 160.0
+
+    def test_port_group_fallback(self, arch):
+        assert arch.port_group_of("exotic", InstrClass.FLOAT) == "fp"
+
+    def test_port_group_missing_port_errors(self):
+        arch = MicroArch(name="broken", isa="arm", frequency_hz=1e9,
+                         core_count=1, in_order=True, issue_width=1,
+                         window_size=2, ports={"int": 1},
+                         port_of={"weird": "gpu"})
+        with pytest.raises(ConfigError, match="gpu"):
+            arch.port_group_of("weird", InstrClass.INT_SHORT)
+
+    def test_initiation_interval(self, arch):
+        assert arch.initiation_interval("div", InstrClass.INT_LONG) == 19
+        assert arch.initiation_interval("fma", InstrClass.SIMD) == 1
+
+    def test_validate_catches_bad_configs(self):
+        base = dict(name="bad", isa="arm", frequency_hz=1e9,
+                    core_count=1, in_order=True, issue_width=2,
+                    window_size=4, ports={"int": 1})
+        with pytest.raises(ConfigError):
+            MicroArch(**{**base, "issue_width": 0}).validate()
+        with pytest.raises(ConfigError):
+            MicroArch(**{**base, "window_size": 1}).validate()
+        with pytest.raises(ConfigError):
+            MicroArch(**{**base, "frequency_hz": 0}).validate()
+        with pytest.raises(ConfigError):
+            MicroArch(**{**base, "core_count": 0}).validate()
+        with pytest.raises(ConfigError):
+            MicroArch(**{**base, "ports": {}}).validate()
+
+    def test_thermal_params_helpers(self):
+        params = ThermalParams(25.0, 2.0, 4.0)
+        assert params.steady_state_c(5.0) == 35.0
+        assert params.transient_c(5.0, 1e9) == pytest.approx(35.0)
+
+    def test_pdn_params_derived(self):
+        params = PDNParams(1e-3, 1e-11, 1e-7)
+        assert params.resonance_hz > 0
+        assert params.q_factor > 0
+
+    def test_xgene_noc_configured(self):
+        assert microarch_for("xgene2").noc_epi_pj > 0
+        assert microarch_for("cortex_a15").noc_epi_pj == 0.0

@@ -1,0 +1,180 @@
+"""Unit tests for the x86-flavoured front-end (repro.isa.x86)."""
+
+import pytest
+
+from repro.core.errors import AssemblyError
+from repro.isa.model import FLAGS_REGISTER, InstrClass
+
+
+def _one(x86_asm, line):
+    return x86_asm.assemble(line + "\n").loop[0]
+
+
+class TestIntegerOps:
+    def test_add_two_operand_reads_destination(self, x86_asm):
+        """x86 destination is also a source (read-modify-write)."""
+        d = _one(x86_asm, "add rax, rbx")
+        assert d.iclass is InstrClass.INT_SHORT
+        assert set(d.reads) == {"rax", "rbx"}
+        assert "rax" in d.writes
+
+    def test_alu_writes_flags(self, x86_asm):
+        d = _one(x86_asm, "sub rcx, rdx")
+        assert FLAGS_REGISTER in d.writes
+
+    @pytest.mark.parametrize("opcode", ["add", "sub", "and", "or", "xor"])
+    def test_alu_family(self, x86_asm, opcode):
+        assert _one(x86_asm, f"{opcode} rsi, rdi").group == "alu"
+
+    def test_add_immediate(self, x86_asm):
+        d = _one(x86_asm, "add rax, 8")
+        assert d.immediate == 8
+        assert d.reads == ("rax",)
+
+    @pytest.mark.parametrize("opcode", ["shl", "shr", "sar", "rol"])
+    def test_shifts(self, x86_asm, opcode):
+        d = _one(x86_asm, f"{opcode} rax, 3")
+        assert d.group == "shift"
+
+    def test_imul_long_latency(self, x86_asm):
+        d = _one(x86_asm, "imul rax, rbx")
+        assert d.iclass is InstrClass.INT_LONG
+        assert d.group == "mul"
+
+    def test_idiv2_pseudo(self, x86_asm):
+        d = _one(x86_asm, "idiv2 rsi, rdi")
+        assert d.group == "div"
+
+    def test_inc_dec(self, x86_asm):
+        d = _one(x86_asm, "dec r15")
+        assert d.reads == ("r15",)
+        assert "r15" in d.writes and FLAGS_REGISTER in d.writes
+
+    def test_cmp_writes_only_flags(self, x86_asm):
+        d = _one(x86_asm, "cmp rax, rbx")
+        assert d.writes == (FLAGS_REGISTER,)
+
+    def test_lea(self, x86_asm):
+        d = _one(x86_asm, "lea rax, [rbp+16]")
+        assert d.iclass is InstrClass.INT_SHORT
+        assert d.reads == ("rbp",)
+
+    def test_extended_registers(self, x86_asm):
+        d = _one(x86_asm, "add r8, r15")
+        assert set(d.reads) == {"r8", "r15"}
+
+    def test_bad_register(self, x86_asm):
+        with pytest.raises(AssemblyError):
+            _one(x86_asm, "add eax, ebx")
+
+
+class TestMov:
+    def test_mov_register(self, x86_asm):
+        d = _one(x86_asm, "mov rax, rbx")
+        assert d.iclass is InstrClass.INT_SHORT
+
+    def test_mov_immediate(self, x86_asm):
+        d = _one(x86_asm, "mov rax, 0xAAAAAAAAAAAAAAAA")
+        assert d.immediate == 0xAAAAAAAAAAAAAAAA
+
+    def test_mov_load(self, x86_asm):
+        d = _one(x86_asm, "mov r9, [rbp+8]")
+        assert d.iclass is InstrClass.MEM_LOAD
+        assert d.mem_base == "rbp"
+        assert d.mem_offset == 8
+
+    def test_mov_load_negative_offset(self, x86_asm):
+        d = _one(x86_asm, "mov r9, [rbp-8]")
+        assert d.mem_offset == -8
+
+    def test_mov_store(self, x86_asm):
+        d = _one(x86_asm, "mov [r8+16], rbx")
+        assert d.iclass is InstrClass.MEM_STORE
+        assert set(d.reads) == {"rbx", "r8"}
+        assert d.writes == ()
+
+    def test_mov_no_offset(self, x86_asm):
+        d = _one(x86_asm, "mov r9, [rbp]")
+        assert d.mem_offset == 0
+
+
+class TestSse:
+    @pytest.mark.parametrize("opcode", ["addps", "subps", "xorps", "orps"])
+    def test_packed_family_is_simd(self, x86_asm, opcode):
+        d = _one(x86_asm, f"{opcode} xmm1, xmm2")
+        assert d.iclass is InstrClass.SIMD
+        assert set(d.reads) == {"xmm1", "xmm2"}
+        assert d.writes == ("xmm1",)
+
+    def test_mulps_group(self, x86_asm):
+        assert _one(x86_asm, "mulps xmm0, xmm1").group == "vmul"
+
+    @pytest.mark.parametrize("opcode", ["addsd", "mulsd", "divsd"])
+    def test_scalar_family_is_float(self, x86_asm, opcode):
+        d = _one(x86_asm, f"{opcode} xmm3, xmm4")
+        assert d.iclass is InstrClass.FLOAT
+
+    def test_fma_reads_destination(self, x86_asm):
+        d = _one(x86_asm, "vfmadd231ps xmm1, xmm2, xmm3")
+        assert set(d.reads) == {"xmm1", "xmm2", "xmm3"}
+        assert d.group == "fma"
+
+    def test_movaps_register(self, x86_asm):
+        d = _one(x86_asm, "movaps xmm1, xmm2")
+        assert d.iclass is InstrClass.SIMD
+
+    def test_movaps_load(self, x86_asm):
+        d = _one(x86_asm, "movaps xmm1, [rbp+32]")
+        assert d.iclass is InstrClass.MEM_LOAD
+        assert d.writes == ("xmm1",)
+
+    def test_movaps_store(self, x86_asm):
+        d = _one(x86_asm, "movaps [rbp+32], xmm1")
+        assert d.iclass is InstrClass.MEM_STORE
+
+    def test_movaps_pseudo_init(self, x86_asm):
+        program = x86_asm.assemble(
+            "movaps xmm0, 0x5555555555555555\n.loop\nnop\n.endloop\n")
+        assert program.register_values["xmm0"] == 0x5555555555555555
+
+
+class TestControlFlow:
+    def test_jmp_forward(self, x86_asm):
+        program = x86_asm.assemble(".loop\njmp 1f\n1:\nnop\n.endloop\n")
+        d = program.loop[0]
+        assert d.iclass is InstrClass.BRANCH
+        assert d.branch_target == 1
+
+    @pytest.mark.parametrize("opcode", ["jnz", "jne", "jz", "je"])
+    def test_conditional_jumps_read_flags(self, x86_asm, opcode):
+        program = x86_asm.assemble(
+            f".loop\ntop:\ndec rcx\n{opcode} top\n.endloop\n")
+        d = program.loop[1]
+        assert d.reads == (FLAGS_REGISTER,)
+        assert d.backward
+
+    def test_loop_idiom(self, x86_asm):
+        program = x86_asm.assemble(
+            "mov r15, 100\n.loop\nbody:\nadd rax, rbx\ndec r15\n"
+            "jnz body\n.endloop\n")
+        assert program.loop[2].branch_target == 0
+
+
+class TestGaCatalogCompatibility:
+    def test_every_catalog_instruction_assembles(self, x86_asm, rng):
+        from repro.isa import x86_library
+        lib = x86_library()
+        for name in lib.names:
+            spec = lib.spec(name)
+            for _ in range(10):
+                text = spec.render(lib.sample_values(spec, rng))
+                program = x86_asm.assemble(text)
+                assert program.loop_length >= 1
+
+    def test_stock_template_assembles(self, x86_asm):
+        from repro.isa import x86_template
+        program = x86_asm.assemble(
+            x86_template().replace("#loop_code", "nop"))
+        assert program.loop_length >= 1
+        assert program.register_values["rax"] == 0x5555555555555555
+        assert program.register_values["rbx"] == 0xAAAAAAAAAAAAAAAA

@@ -1,0 +1,119 @@
+"""Unit tests for the workload substrate (repro.workloads)."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.cpu import SimulatedMachine
+from repro.workloads import (FIGURE_BASELINES, LoopBuilder,
+                             build_workload_source, workload,
+                             workload_names, workloads)
+
+
+class TestLoopBuilder:
+    def test_block_counts(self):
+        b = LoopBuilder("arm").int_block(3).float_block(2).load_block(1)
+        assert len(b) == 6
+        assert len(b.lines) == 6
+
+    def test_branch_blocks_render_two_lines(self):
+        b = LoopBuilder("arm").branch_block(2)
+        assert all("\n1:" in line for line in b.lines)
+
+    def test_chain_blocks_serialise_on_one_register(self):
+        b = LoopBuilder("arm").int_block(4, chain=True)
+        assert all(line.endswith("x1, x1, x2") for line in b.lines)
+
+    def test_unknown_isa_rejected(self):
+        with pytest.raises(ConfigError):
+            LoopBuilder("mips")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ConfigError):
+            LoopBuilder("arm").body()
+
+    def test_x86_and_arm_same_block_lengths(self):
+        for isa in ("arm", "x86"):
+            b = LoopBuilder(isa)
+            b.int_block(2).mul_block(1).div_block(1).float_block(2)
+            b.simd_block(2).load_block(2).store_block(1)
+            b.branch_block(1).nop_block(1)
+            assert len(b) == 13
+
+    def test_builder_is_chainable(self):
+        b = LoopBuilder("x86").int_block(1).simd_block(1)
+        assert isinstance(b, LoopBuilder)
+
+
+class TestWorkloadLibrary:
+    def test_all_names_buildable_both_isas(self):
+        for name in workload_names():
+            for isa in ("arm", "x86"):
+                w = workload(name, isa)
+                assert w.source
+                assert w.description
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            workload("doom")
+
+    def test_workloads_helper(self):
+        ws = workloads(["coremark", "fdct"], "arm")
+        assert [w.name for w in ws] == ["coremark", "fdct"]
+
+    def test_figure_baselines_reference_known_workloads(self):
+        names = set(workload_names())
+        for figure, baselines in FIGURE_BASELINES.items():
+            assert set(baselines) <= names, figure
+
+    def test_fig5_baselines_match_paper(self):
+        assert set(FIGURE_BASELINES["fig5_a15_power"]) == {
+            "coremark", "imdct", "fdct", "a15_manual_stress"}
+
+    def test_fig8_includes_stability_tests(self):
+        fig8 = FIGURE_BASELINES["fig8_voltage_noise"]
+        assert "prime95" in fig8
+        assert "amd_stability_test" in fig8
+
+
+class TestWorkloadsExecute:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_arm_workload_runs(self, name, a15_machine):
+        result = a15_machine.run_source(workload(name, "arm").source)
+        assert result.ipc > 0
+        assert result.core_power_w > 0
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_x86_workload_runs(self, name, athlon_machine):
+        result = athlon_machine.run_source(workload(name, "x86").source)
+        assert result.ipc > 0
+
+    def test_idle_spin_is_low_anchor(self, a15_machine):
+        powers = {name: a15_machine.run_source(
+            workload(name, "arm").source).core_power_w
+            for name in ("idle_spin", "coremark", "prime95")}
+        assert powers["idle_spin"] < powers["coremark"]
+        assert powers["idle_spin"] < powers["prime95"]
+
+    def test_prime95_is_high_power_on_athlon(self, athlon_machine):
+        """Prime95's defining trait: near-top sustained power."""
+        powers = {name: athlon_machine.run_source(
+            workload(name, "x86").source, cores=4).avg_power_w
+            for name in FIGURE_BASELINES["fig8_voltage_noise"]}
+        assert powers["prime95"] == max(powers.values())
+
+    def test_manual_stress_beats_conventional_apps(self, a15_machine,
+                                                   a7_machine):
+        """The hand-written stress loops must top the conventional
+        bare-metal workloads on their own platform (Figures 5/6)."""
+        for machine, manual in ((a15_machine, "a15_manual_stress"),
+                                (a7_machine, "a7_manual_stress")):
+            powers = {name: machine.run_source(
+                workload(name, "arm").source,
+                cores=machine.arch.core_count).avg_power_w
+                for name in ("coremark", "imdct", "fdct", manual)}
+            assert powers[manual] == max(powers.values())
+
+    def test_build_workload_source_wraps_template(self):
+        src = build_workload_source("arm", "nop")
+        assert ".loop" in src
+        assert "#loop_code" not in src
