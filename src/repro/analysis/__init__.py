@@ -1,5 +1,13 @@
-"""Analysis: instruction mixes, convergence, V_MIN, reports."""
+"""Analysis: instruction mixes, convergence, V_MIN, reports.
 
+The static features derived by :mod:`repro.staticcheck.dataflow`
+(dependency-chain depth, mix vector, footprint bounds) are re-exported
+here: they are analysis inputs — distance metrics, fitness predictors —
+as much as lint artefacts.
+"""
+
+from ..staticcheck.dataflow import (DataflowReport, StaticProfile,
+                                    analyze_program)
 from .convergence import (area_under_curve, best_fitness_series,
                           final_improvement, generations_to_exceed,
                           is_monotonic)
@@ -19,6 +27,7 @@ from .spectrum import (CurrentSpectrum, current_spectrum,
 from .vmin import VMIN_STEP_V, VminResult, characterize_vmin, vmin_table
 
 __all__ = [
+    "DataflowReport", "StaticProfile", "analyze_program",
     "area_under_curve", "best_fitness_series", "final_improvement",
     "generations_to_exceed", "is_monotonic",
     "TABLE_CATEGORIES", "breakdown_table", "dominant_category",

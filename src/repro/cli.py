@@ -3,8 +3,11 @@
 The original tool is driven as ``python gest.py <config.xml>``.  This
 reproduction mirrors that::
 
-    gest run config.xml [--generations N] [--platform NAME]
+    gest run config.xml [--generations N] [--platform NAME] [--no-screen]
     gest measure source.s --platform NAME [--cores N]
+    gest lint config.xml [--json]
+    gest check source.s [--platform NAME] [--json]
+    gest selfcheck [--json]
     gest stats results_dir/
     gest presets
 
@@ -12,8 +15,13 @@ reproduction mirrors that::
 against a simulated platform, recording outputs per the paper's
 conventions.  ``measure`` runs one source file (e.g. a recorded
 individual) and prints every sensor — the quick way to re-score a
-saved virus.  ``stats`` replays the released post-processing script on
-a recorded run.  ``presets`` lists the available simulated platforms.
+saved virus.  ``lint`` runs the static config/library checks of
+:mod:`repro.staticcheck` (also run eagerly by ``run``); ``check``
+assembles one source file and reports its dataflow diagnostics and
+static profile; ``selfcheck`` runs the framework determinism lint over
+the installed ``repro`` package.  ``stats`` replays the released
+post-processing script on a recorded run.  ``presets`` lists the
+available simulated platforms.
 """
 
 from __future__ import annotations
@@ -34,6 +42,10 @@ from .cpu.microarch import preset_names
 from .cpu.target import SimulatedTarget
 from .fitness.default_fitness import DefaultFitness
 from .measurement.base import Measurement
+from .staticcheck import (StaticScreen, analyze_program,
+                          diagnostics_to_json, format_diagnostics,
+                          has_errors, lint_config, lint_config_file,
+                          lint_tree, repro_package_root)
 
 __all__ = ["main", "build_parser"]
 
@@ -57,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None,
                      help="override the configured GA seed")
     run.add_argument("--quiet", action="store_true")
+    run.add_argument("--no-screen", action="store_true",
+                     help="disable pre-measurement static screening")
+    run.add_argument("--no-lint", action="store_true",
+                     help="skip the eager config lint before the search")
 
     measure = sub.add_parser(
         "measure", help="compile and run one source file, print sensors")
@@ -68,6 +84,29 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--duration", type=float, default=5.0)
     measure.add_argument("--seed", type=int, default=0)
 
+    lint = sub.add_parser(
+        "lint", help="statically lint a main configuration file")
+    lint.add_argument("config", type=Path, help="main configuration XML")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit diagnostics as JSON (for CI)")
+
+    check = sub.add_parser(
+        "check", help="assemble a source file and report dataflow "
+                      "diagnostics and its static profile")
+    check.add_argument("source", type=Path, help="assembly source file")
+    check.add_argument("--platform", default="cortex_a15",
+                       choices=preset_names(),
+                       help="platform whose syntax and cache geometry "
+                            "the check uses")
+    check.add_argument("--json", action="store_true", dest="as_json")
+
+    selfcheck = sub.add_parser(
+        "selfcheck", help="run the framework determinism lint over the "
+                          "installed repro package")
+    selfcheck.add_argument("--path", type=Path, default=None,
+                           help="lint this tree instead of the package")
+    selfcheck.add_argument("--json", action="store_true", dest="as_json")
+
     stats = sub.add_parser("stats",
                            help="post-process a recorded run directory")
     stats.add_argument("results_dir", type=Path)
@@ -78,6 +117,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _command_run(args: argparse.Namespace) -> int:
     config = parse_config_file(args.config)
+    if not args.no_lint:
+        # Eager lint: a malformed library means generations of
+        # zero-fitness individuals — fail at load time instead.
+        diagnostics = lint_config(config, file=str(args.config))
+        if has_errors(diagnostics):
+            for diag in diagnostics:
+                print(diag.format(), file=sys.stderr)
+            print(f"error: configuration {args.config} failed the static "
+                  "lint; fix the diagnostics above or re-run with "
+                  "--no-lint", file=sys.stderr)
+            return 1
     if args.seed is not None:
         config.ga.seed = args.seed
     machine = SimulatedMachine(args.platform,
@@ -92,15 +142,19 @@ def _command_run(args: argparse.Namespace) -> int:
 
     results_dir = args.results or config.results_dir
     recorder = OutputRecorder(results_dir) if results_dir else None
-    engine = GeneticEngine(config, measurement, fitness, recorder=recorder)
+    screen = None if args.no_screen else StaticScreen(machine.assembler)
+    engine = GeneticEngine(config, measurement, fitness, recorder=recorder,
+                           screen=screen)
     history = engine.run(args.generations)
 
     best = history.best_individual
     if not args.quiet:
         for stats in history.generations:
+            screened = (f"  screened {stats.screen_failures:2d}"
+                        if stats.screen_failures else "")
             print(f"generation {stats.number:3d}  "
                   f"best {stats.best_fitness:10.4f}  "
-                  f"mean {stats.mean_fitness:10.4f}")
+                  f"mean {stats.mean_fitness:10.4f}{screened}")
         print(f"\nbest individual uid={best.uid} "
               f"fitness={best.fitness:.4f} "
               f"measurements={[round(m, 4) for m in best.measurements]}")
@@ -133,6 +187,80 @@ def _command_measure(args: argparse.Namespace) -> int:
         print(f"NoC power:       {result.noc_power_w:.2f} W")
     print(f"status:          {'CRASHED' if result.crashed else 'ok'}")
     return 0
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    diagnostics = lint_config_file(args.config)
+    if args.as_json:
+        print(diagnostics_to_json(diagnostics, file=str(args.config)))
+    else:
+        print(format_diagnostics(diagnostics))
+    return 1 if has_errors(diagnostics) else 0
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    if not args.source.exists():
+        print(f"error: source file {args.source} does not exist",
+              file=sys.stderr)
+        return 1
+    machine = SimulatedMachine(args.platform)
+    hierarchy = machine.hierarchy
+    l1 = hierarchy.l1_config.size_bytes if hierarchy is not None else None
+    l2 = hierarchy.l2_config.size_bytes if hierarchy is not None else None
+    try:
+        program = machine.compile(args.source.read_text(),
+                                  name=args.source.name)
+    except GestError as exc:
+        if args.as_json:
+            print(diagnostics_to_json([], file=str(args.source),
+                                      assembly_error=str(exc)))
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 1
+    kwargs = {} if hierarchy is None else {"l1_bytes": l1, "l2_bytes": l2}
+    report = analyze_program(program, source_file=str(args.source),
+                             **kwargs)
+    profile = report.profile
+    if args.as_json:
+        print(diagnostics_to_json(
+            report.diagnostics, file=str(args.source),
+            profile={
+                "loop_length": profile.loop_length,
+                "chain_depth": profile.chain_depth,
+                "mix_vector": profile.mix_vector,
+                "footprint_bytes": profile.footprint_bytes,
+                "distinct_lines": profile.distinct_lines,
+                "uninitialised_reads": profile.uninitialised_reads,
+                "dead_writes": profile.dead_writes,
+                "memory_instructions": profile.memory_instructions,
+            }))
+        return 1 if has_errors(report.diagnostics) else 0
+    print(f"program:        {args.source.name} "
+          f"({args.platform}, {machine.assembler.syntax_name})")
+    print(f"loop length:    {profile.loop_length}")
+    print(f"chain depth:    {profile.chain_depth}")
+    mix = ", ".join(f"{name}={value:.2f}"
+                    for name, value in sorted(profile.mix_vector.items())
+                    if value)
+    print(f"mix vector:     {mix or '(empty)'}")
+    print(f"footprint:      {profile.footprint_bytes} bytes "
+          f"({profile.distinct_lines} lines, "
+          f"{profile.memory_instructions} memory instructions)")
+    print(f"dead writes:    {profile.dead_writes}")
+    print(f"uninit reads:   {profile.uninitialised_reads}")
+    print(format_diagnostics(report.diagnostics))
+    return 1 if has_errors(report.diagnostics) else 0
+
+
+def _command_selfcheck(args: argparse.Namespace) -> int:
+    root = args.path if args.path is not None else repro_package_root()
+    diagnostics = lint_tree(root)
+    if args.as_json:
+        print(diagnostics_to_json(diagnostics, root=str(root)))
+    else:
+        print(f"determinism lint over {root}")
+        print(format_diagnostics(diagnostics))
+    return 1 if has_errors(diagnostics) else 0
 
 
 def _command_stats(args: argparse.Namespace) -> int:
@@ -169,6 +297,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_run(args)
         if args.command == "measure":
             return _command_measure(args)
+        if args.command == "lint":
+            return _command_lint(args)
+        if args.command == "check":
+            return _command_check(args)
+        if args.command == "selfcheck":
+            return _command_selfcheck(args)
         if args.command == "stats":
             return _command_stats(args)
         if args.command == "presets":

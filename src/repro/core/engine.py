@@ -29,8 +29,9 @@ from .population import Population, load_population
 from .rng import make_rng
 from .template import Template
 
-__all__ = ["MeasurementProtocol", "FitnessProtocol", "GenerationStats",
-           "RunHistory", "GeneticEngine"]
+__all__ = ["MeasurementProtocol", "FitnessProtocol", "ScreenProtocol",
+           "ScreenReportProtocol", "GenerationStats", "RunHistory",
+           "GeneticEngine"]
 
 
 class MeasurementProtocol(Protocol):
@@ -51,6 +52,22 @@ class FitnessProtocol(Protocol):
         ...
 
 
+class ScreenReportProtocol(Protocol):
+    """Verdict shape returned by a static screen."""
+
+    passed: bool
+    assembly_failed: bool
+
+
+class ScreenProtocol(Protocol):
+    """What the engine needs from a pre-measurement static screen
+    (see :class:`repro.staticcheck.screen.StaticScreen`)."""
+
+    def screen(self, source_text: str,
+               individual: Individual) -> ScreenReportProtocol:
+        ...
+
+
 @dataclass
 class GenerationStats:
     """Per-generation summary used for convergence analysis."""
@@ -60,6 +77,10 @@ class GenerationStats:
     mean_fitness: float
     best_uid: int
     compile_failures: int
+    #: Individuals rejected by the static screen before measurement
+    #: (subset of the zero-fitness individuals; assembly-failure screens
+    #: are also counted in ``compile_failures``).
+    screen_failures: int = 0
     best_measurements: List[float] = field(default_factory=list)
 
 
@@ -101,6 +122,12 @@ class GeneticEngine:
         the paper's scale is hours of measurements; ``resume`` restarts
         an interrupted search from the last completed generation with
         bit-identical behaviour.
+    screen:
+        Optional pre-measurement static screen (see
+        :class:`repro.staticcheck.screen.StaticScreen`).  Individuals
+        the screen rejects are recorded as zero-fitness screen failures
+        without entering the measurement path; counts appear in
+        :class:`GenerationStats`.
     """
 
     def __init__(self, config: RunConfig,
@@ -108,7 +135,8 @@ class GeneticEngine:
                  fitness: FitnessProtocol,
                  recorder: Optional[OutputRecorder] = None,
                  rng: Optional[Random] = None,
-                 checkpoint_path: Optional[Union[str, Path]] = None
+                 checkpoint_path: Optional[Union[str, Path]] = None,
+                 screen: Optional[ScreenProtocol] = None
                  ) -> None:
         config.validate()
         self.config = config
@@ -116,6 +144,7 @@ class GeneticEngine:
         self.fitness = fitness
         self.recorder = recorder
         self.rng = rng if rng is not None else make_rng(config.ga.seed)
+        self.screen = screen
         self.template = Template(config.template_text)
         self._crossover = CROSSOVER_OPERATORS[config.ga.crossover_operator]
         self._next_uid = 0
@@ -195,6 +224,19 @@ class GeneticEngine:
             if individual.evaluated:
                 continue
             source = self.render_source(individual)
+            if self.screen is not None:
+                report = self.screen.screen(source, individual)
+                if not report.passed:
+                    # Same zero-fitness path as a compile failure, but
+                    # the individual never enters the pipeline model.
+                    individual.record_evaluation(
+                        [0.0], 0.0,
+                        compile_failed=report.assembly_failed,
+                        screen_failed=True)
+                    if self.recorder is not None:
+                        self.recorder.record_individual(individual, source)
+                    self._update_best(individual)
+                    continue
             measure = getattr(self.measurement, "measure_repeated",
                               self.measurement.measure)
             try:
@@ -203,8 +245,17 @@ class GeneticEngine:
                 individual.record_evaluation([0.0], 0.0, compile_failed=True)
             else:
                 if not measurements:
+                    # Persist what this generation has produced so far —
+                    # an hours-long run should not lose the partial
+                    # generation to a measurement plug-in bug.
+                    if self.checkpoint_path is not None:
+                        self.save_checkpoint(population)
                     raise ConfigError(
-                        "measurement returned an empty result list")
+                        f"measurement "
+                        f"{type(self.measurement).__name__!r} returned "
+                        f"an empty result list for individual "
+                        f"uid={individual.uid} in generation "
+                        f"{individual.generation}")
                 value = self.fitness.get_fitness(measurements, individual)
                 individual.record_evaluation(measurements, value)
             if self.recorder is not None:
@@ -279,7 +330,8 @@ class GeneticEngine:
                measurement: MeasurementProtocol,
                fitness: FitnessProtocol,
                checkpoint_path: Union[str, Path],
-               recorder: Optional[OutputRecorder] = None
+               recorder: Optional[OutputRecorder] = None,
+               screen: Optional[ScreenProtocol] = None
                ) -> "GeneticEngine":
         """Rebuild an engine from a checkpoint file.
 
@@ -298,8 +350,15 @@ class GeneticEngine:
                 payload.get("format") != "gest-repro-checkpoint":
             raise ConfigError(
                 f"{checkpoint_path} is not a checkpoint file")
+        version = payload.get("version")
+        if version != 1:
+            raise ConfigError(
+                f"checkpoint {checkpoint_path} has unsupported version "
+                f"{version!r}; this build reads version 1 — re-run the "
+                "search or convert the checkpoint with the writing "
+                "version")
         engine = cls(config, measurement, fitness, recorder=recorder,
-                     checkpoint_path=checkpoint_path)
+                     checkpoint_path=checkpoint_path, screen=screen)
         engine._resume_state = payload
         return engine
 
@@ -312,6 +371,8 @@ class GeneticEngine:
             mean_fitness=population.mean_fitness(),
             best_uid=best.uid,
             compile_failures=sum(1 for i in population if i.compile_failed),
+            screen_failures=sum(1 for i in population
+                                if getattr(i, "screen_failed", False)),
             best_measurements=list(best.measurements),
         )
         history.generations.append(stats)

@@ -30,7 +30,7 @@ class Individual:
     """
 
     __slots__ = ("instructions", "uid", "parent_ids", "measurements",
-                 "fitness", "generation", "compile_failed")
+                 "fitness", "generation", "compile_failed", "screen_failed")
 
     def __init__(self, instructions: Sequence[ConcreteInstruction],
                  uid: int = -1,
@@ -42,6 +42,7 @@ class Individual:
         self.fitness: Optional[float] = None
         self.generation: int = -1
         self.compile_failed: bool = False
+        self.screen_failed: bool = False
 
     # -- genome ----------------------------------------------------------
 
@@ -82,10 +83,12 @@ class Individual:
 
     def record_evaluation(self, measurements: Sequence[float],
                           fitness: float,
-                          compile_failed: bool = False) -> None:
+                          compile_failed: bool = False,
+                          screen_failed: bool = False) -> None:
         self.measurements = list(measurements)
         self.fitness = float(fitness)
         self.compile_failed = compile_failed
+        self.screen_failed = screen_failed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         fit = "unmeasured" if self.fitness is None else f"{self.fitness:.4f}"

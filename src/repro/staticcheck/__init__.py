@@ -1,0 +1,47 @@
+"""Static analysis: diagnostics before (and instead of) measurement.
+
+Four passes share one :class:`~repro.staticcheck.diagnostics.Diagnostic`
+model:
+
+* :mod:`~repro.staticcheck.dataflow` — def-use analysis over the
+  assembled :class:`~repro.isa.model.Program` IR, producing a
+  :class:`~repro.staticcheck.dataflow.StaticProfile` of derived
+  features (dependency-chain depth, instruction-mix vector, static
+  memory-footprint bounds) plus ``SC1xx`` diagnostics;
+* :mod:`~repro.staticcheck.configlint` — eager validation of main
+  configurations and instruction libraries (``SC2xx``), so a malformed
+  operand range fails at load time instead of wasting a search;
+* :mod:`~repro.staticcheck.screen` — the engine's pre-measurement
+  gate: statically invalid individuals never enter the pipeline model;
+* :mod:`~repro.staticcheck.selflint` — an AST determinism lint over
+  the framework's own sources (``SC4xx``), guarding the
+  checkpoint/resume bit-identical-replay promise.
+
+CLI entry points: ``gest lint <config>``, ``gest check <source.s>``,
+``gest selfcheck`` — each with ``--json`` for CI.
+"""
+
+from .configlint import (detect_syntax, lint_config, lint_config_file,
+                         lint_library, lint_template)
+from .dataflow import (DataflowReport, StaticProfile, analyze_program,
+                       DEFAULT_L1_BYTES, DEFAULT_L2_BYTES,
+                       DEFAULT_LINE_BYTES)
+from .diagnostics import (CODES, Diagnostic, Location, Severity,
+                          diagnostics_to_json, format_diagnostics,
+                          has_errors, make_diagnostic, summarise,
+                          worst_severity)
+from .screen import ScreenReport, ScreenStats, StaticScreen
+from .selflint import (lint_file, lint_source, lint_tree,
+                       repro_package_root)
+
+__all__ = [
+    "detect_syntax", "lint_config", "lint_config_file", "lint_library",
+    "lint_template",
+    "DataflowReport", "StaticProfile", "analyze_program",
+    "DEFAULT_L1_BYTES", "DEFAULT_L2_BYTES", "DEFAULT_LINE_BYTES",
+    "CODES", "Diagnostic", "Location", "Severity",
+    "diagnostics_to_json", "format_diagnostics", "has_errors",
+    "make_diagnostic", "summarise", "worst_severity",
+    "ScreenReport", "ScreenStats", "StaticScreen",
+    "lint_file", "lint_source", "lint_tree", "repro_package_root",
+]

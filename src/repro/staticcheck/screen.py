@@ -1,0 +1,121 @@
+"""Pre-measurement static screening (the engine's correctness gate).
+
+Measurement is the expensive part of a GeST search — the paper's runs
+spend hours driving real hardware, and this reproduction's cycle-level
+:mod:`repro.cpu` model is the analogous hot path.  The screen runs the
+cheap static passes on each rendered individual *before* it enters that
+path:
+
+1. assemble the source (the toolchain front-end, no pipeline);
+2. run the dataflow pass (:mod:`repro.staticcheck.dataflow`);
+3. fail the individual when assembly fails or any diagnostic reaches
+   ``fail_severity`` (default: error).
+
+Failed individuals take the same zero-fitness route as
+:class:`~repro.core.errors.AssemblyError` compile failures, but without
+ever paying for pipeline simulation; the engine records them as screen
+failures in :class:`~repro.core.engine.GenerationStats`.
+
+Determinism note: screening an individual that *would have assembled*
+skips the measurement's noise draws and therefore shifts the machine's
+RNG stream for later individuals.  With the default error-only policy
+this cannot happen — assembly failures never reach the machine RNG
+anyway (compilation precedes execution), and dataflow errors only exist
+for programs with no loop body, which the generator never produces — so
+a screened run reproduces an unscreened run bit-for-bit.  Raising
+``fail_severity`` to ``WARNING`` trades that equivalence for a stricter
+gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.errors import AssemblyError
+from ..isa.assembler import BaseAssembler
+from .dataflow import StaticProfile, analyze_program
+from .diagnostics import Diagnostic, Severity, make_diagnostic
+
+__all__ = ["ScreenReport", "ScreenStats", "StaticScreen"]
+
+
+@dataclass
+class ScreenReport:
+    """Verdict of one screening."""
+
+    passed: bool
+    #: True when the source failed to assemble (the classic compile
+    #: failure); False for dataflow-diagnostic rejections.
+    assembly_failed: bool
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    profile: Optional[StaticProfile] = None
+
+
+@dataclass
+class ScreenStats:
+    """Cumulative counters, reported per generation by the engine."""
+
+    screened: int = 0
+    passed: int = 0
+    assembly_failures: int = 0
+    dataflow_failures: int = 0
+
+    @property
+    def failures(self) -> int:
+        return self.assembly_failures + self.dataflow_failures
+
+
+class StaticScreen:
+    """The engine-facing screening object.
+
+    Parameters
+    ----------
+    assembler:
+        The SimISA front-end matching the target platform — screening
+        with the wrong syntax would reject every individual.
+    fail_severity:
+        Minimum dataflow-diagnostic severity that fails an individual.
+    l1_bytes / l2_bytes:
+        Cache geometry for the footprint bound; None disables the
+        corresponding check.
+    """
+
+    def __init__(self, assembler: BaseAssembler,
+                 fail_severity: Severity = Severity.ERROR,
+                 l1_bytes: Optional[int] = None,
+                 l2_bytes: Optional[int] = None) -> None:
+        self.assembler = assembler
+        self.fail_severity = fail_severity
+        self.l1_bytes = l1_bytes
+        self.l2_bytes = l2_bytes
+        self.stats = ScreenStats()
+
+    def screen(self, source_text: str, individual=None) -> ScreenReport:
+        """Screen one rendered source; never raises on bad programs."""
+        self.stats.screened += 1
+        name = f"uid{individual.uid}.s" if individual is not None \
+            else "screened.s"
+        try:
+            program = self.assembler.assemble(source_text, name=name)
+        except AssemblyError as exc:
+            self.stats.assembly_failures += 1
+            diagnostic = make_diagnostic(
+                "SC201", f"source does not assemble: {exc}",
+                severity=Severity.ERROR, file=name)
+            return ScreenReport(passed=False, assembly_failed=True,
+                                diagnostics=[diagnostic])
+
+        report = analyze_program(program, l1_bytes=self.l1_bytes,
+                                 l2_bytes=self.l2_bytes, source_file=name)
+        failing = [d for d in report.diagnostics
+                   if d.severity >= self.fail_severity]
+        if failing:
+            self.stats.dataflow_failures += 1
+            return ScreenReport(passed=False, assembly_failed=False,
+                                diagnostics=report.diagnostics,
+                                profile=report.profile)
+        self.stats.passed += 1
+        return ScreenReport(passed=True, assembly_failed=False,
+                            diagnostics=report.diagnostics,
+                            profile=report.profile)

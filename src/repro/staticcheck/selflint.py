@@ -1,0 +1,187 @@
+"""Framework determinism self-lint (``python -m repro selfcheck``).
+
+Checkpoint/resume promises bit-identical replay: an interrupted search,
+resumed from its last checkpoint, must reproduce exactly what the
+uninterrupted run would have produced.  That promise is only as strong
+as the framework's discipline about hidden nondeterminism, so this
+AST-based pass (stdlib :mod:`ast`, no third-party linter) checks
+``src/repro`` itself for the hazards that would quietly break it:
+
+* ``SC401`` — module-level ``random.*`` calls (``random.random()``,
+  ``random.seed()``...).  All stochastic components must draw from an
+  explicitly seeded :class:`random.Random` instance
+  (:mod:`repro.core.rng`); the module-global stream is shared, hidden
+  state.  ``random.Random(seed)`` construction is of course allowed.
+* ``SC402`` — iterating a ``set``/``frozenset`` in a ``for`` loop or
+  comprehension.  Set iteration order depends on insertion history and
+  hash seeds; feeding it to anything RNG- or order-dependent makes
+  replay diverge.  ``sorted(the_set)`` is the deterministic spelling.
+* ``SC403`` — argument-less ``.popitem()``.  Which item leaves the dict
+  depends on insertion order alone in modern Python but was arbitrary
+  historically, and on ``OrderedDict`` the direction should be spelled
+  out; ``popitem(last=False)`` (explicit FIFO/LIFO) is accepted.
+* ``SC404`` — wall-clock reads (``time.time()``, ``perf_counter()``,
+  ``datetime.now()``...).  Wall-clock values recorded into run state
+  can never replay identically.
+
+A finding can be acknowledged in place with a trailing
+``# staticcheck: disable=SC404`` comment (codes comma-separated; no
+codes disables every check on that line).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .diagnostics import Diagnostic, make_diagnostic
+
+__all__ = ["lint_source", "lint_file", "lint_tree", "repro_package_root"]
+
+#: ``random`` module attributes whose module-level call is the hazard.
+#: ``Random`` / ``SystemRandom`` are class constructions, not draws from
+#: the global stream, so they stay legal.
+_RANDOM_CALLS = frozenset({
+    "random", "seed", "randint", "randrange", "randbytes", "choice",
+    "choices", "shuffle", "sample", "uniform", "triangular", "gauss",
+    "getrandbits", "betavariate", "expovariate", "gammavariate",
+    "lognormvariate", "normalvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "binomialvariate", "getstate",
+    "setstate",
+})
+
+#: (module name, attribute) pairs that read the wall clock.
+_WALL_CLOCK = {
+    "time": frozenset({"time", "time_ns", "monotonic", "monotonic_ns",
+                       "perf_counter", "perf_counter_ns", "clock",
+                       "process_time", "process_time_ns"}),
+    "datetime": frozenset({"now", "today", "utcnow"}),
+    "date": frozenset({"today"}),
+}
+
+_DISABLE_RE = re.compile(
+    r"#\s*staticcheck:\s*disable(?:\s*=\s*(?P<codes>[A-Z0-9, ]+))?")
+
+
+def _disabled_codes(line: str) -> Optional[frozenset]:
+    """Codes suppressed on ``line``; empty frozenset = all codes."""
+    match = _DISABLE_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return frozenset()
+    return frozenset(code.strip() for code in codes.split(","))
+
+
+class _HazardVisitor(ast.NodeVisitor):
+    def __init__(self, filename: str, lines: Sequence[str]) -> None:
+        self.filename = filename
+        self.lines = lines
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- helpers ---------------------------------------------------------
+
+    def _emit(self, code: str, message: str, node: ast.AST) -> None:
+        line_number = getattr(node, "lineno", None)
+        if line_number is not None and 1 <= line_number <= len(self.lines):
+            disabled = _disabled_codes(self.lines[line_number - 1])
+            if disabled is not None and (not disabled or code in disabled):
+                return
+        self.diagnostics.append(make_diagnostic(
+            code, message, file=self.filename, line=line_number))
+
+    @staticmethod
+    def _module_attr(node: ast.AST) -> Optional[tuple]:
+        """``module.attr`` with a bare-Name module, else None."""
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name):
+            return node.value.id, node.attr
+        return None
+
+    def _is_set_expression(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset"))
+
+    def _check_iteration(self, iter_node: ast.AST, node: ast.AST) -> None:
+        if self._is_set_expression(iter_node):
+            self._emit("SC402",
+                       "iteration over a set: the order depends on hash "
+                       "seeds and insertion history; iterate "
+                       "sorted(...) instead", node)
+
+    # -- visitors --------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self._module_attr(node.func)
+        if target is not None:
+            module, attr = target
+            if module == "random" and attr in _RANDOM_CALLS:
+                self._emit("SC401",
+                           f"module-level random.{attr}() draws from the "
+                           "hidden global stream; use a seeded "
+                           "random.Random (repro.core.rng.make_rng)",
+                           node)
+            wall = _WALL_CLOCK.get(module)
+            if wall is not None and attr in wall:
+                self._emit("SC404",
+                           f"{module}.{attr}() reads the wall clock; "
+                           "values derived from it can never replay "
+                           "bit-identically", node)
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "popitem" \
+                and not node.args and not node.keywords:
+            self._emit("SC403",
+                       ".popitem() with no direction argument removes an "
+                       "order-dependent item; spell the direction out "
+                       "(popitem(last=...)) or pop a sorted key", node)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter, node.iter)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, filename: str = "<source>") -> List[Diagnostic]:
+    """Lint one module's source text."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [make_diagnostic("SC400", f"does not parse: {exc.msg}",
+                                file=filename, line=exc.lineno)]
+    visitor = _HazardVisitor(filename, source.splitlines())
+    visitor.visit(tree)
+    return visitor.diagnostics
+
+
+def lint_file(path: Union[str, Path]) -> List[Diagnostic]:
+    path = Path(path)
+    return lint_source(path.read_text(), filename=str(path))
+
+
+def lint_tree(root: Union[str, Path]) -> List[Diagnostic]:
+    """Lint every ``*.py`` file under ``root``, in a stable order."""
+    root = Path(root)
+    diagnostics: List[Diagnostic] = []
+    for path in sorted(root.rglob("*.py")):
+        diagnostics.extend(lint_file(path))
+    return diagnostics
+
+
+def repro_package_root() -> Path:
+    """The installed ``repro`` package directory (the self-lint target)."""
+    import repro
+    return Path(repro.__file__).resolve().parent

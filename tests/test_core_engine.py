@@ -236,3 +236,106 @@ class TestRenderSource:
         assert "#loop_code" not in source
         for line in ind.render_body().splitlines():
             assert line in source
+
+
+class _EmptyMeasurement:
+    """A broken measurement plug-in: returns no values at all."""
+
+    def measure(self, source_text, individual):
+        return []
+
+
+class _RejectNopScreen:
+    """Deterministic screen stub: fails any NOP-bearing individual."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def screen(self, source_text, individual):
+        self.calls += 1
+        failed = any(i.name == "NOP" for i in individual.instructions)
+
+        class Report:
+            passed = not failed
+            assembly_failed = False
+        return Report()
+
+
+class TestStaticScreening:
+    def test_screen_failures_take_zero_fitness_path(self, tiny_config):
+        measurement = CountingMeasurement()
+        screen = _RejectNopScreen()
+        engine = GeneticEngine(tiny_config, measurement, DefaultFitness(),
+                               screen=screen)
+        history = engine.run()
+        total = tiny_config.ga.population_size * tiny_config.ga.generations
+        assert screen.calls == total
+        # Screened individuals never reach the measurement.
+        failures = sum(g.screen_failures for g in history.generations)
+        assert failures > 0
+        assert measurement.calls == total - failures
+        for ind in history.final_population:
+            if ind.screen_failed:
+                assert ind.fitness == 0.0
+                assert ind.measurements == [0.0]
+                assert not ind.compile_failed
+
+    def test_screen_failures_counted_per_generation(self, tiny_config):
+        engine = GeneticEngine(tiny_config, CountingMeasurement(),
+                               DefaultFitness(), screen=_RejectNopScreen())
+        history = engine.run()
+        for stats in history.generations:
+            population = [i for i in history.final_population
+                          if i.generation == stats.number]
+            if population:  # only the final generation is retained
+                assert stats.screen_failures == \
+                    sum(1 for i in population if i.screen_failed)
+
+    def test_no_screen_means_no_screen_failures(self, tiny_config):
+        history = _engine(tiny_config).run()
+        assert all(g.screen_failures == 0 for g in history.generations)
+
+    def test_static_screen_preserves_fitness_series(self, tiny_config):
+        """The acceptance property: with the default error-only policy
+        the real StaticScreen passes every generated individual, so a
+        seeded run is bit-identical to an unscreened one."""
+        from repro.isa import ArmAssembler
+        from repro.staticcheck import StaticScreen
+
+        unscreened = _engine(tiny_config).run()
+        screen = StaticScreen(ArmAssembler())
+        screened = GeneticEngine(tiny_config, CountingMeasurement(),
+                                 DefaultFitness(), screen=screen).run()
+
+        assert screened.best_fitness_series() == \
+            unscreened.best_fitness_series()
+        assert screened.best_individual.genome_key() == \
+            unscreened.best_individual.genome_key()
+        assert all(g.screen_failures == 0 for g in screened.generations)
+        total = tiny_config.ga.population_size * tiny_config.ga.generations
+        assert screen.stats.screened == total
+        assert screen.stats.passed == total
+
+
+class TestEmptyMeasurementError:
+    def test_error_names_individual_and_generation(self, tiny_config):
+        with pytest.raises(ConfigError) as excinfo:
+            _engine(tiny_config, _EmptyMeasurement()).run()
+        message = str(excinfo.value)
+        assert "_EmptyMeasurement" in message
+        assert "uid=" in message
+        assert "generation" in message
+
+    def test_partial_generation_checkpointed_before_raise(
+            self, tiny_config, tmp_path):
+        checkpoint = tmp_path / "partial.ckpt"
+        engine = GeneticEngine(tiny_config, _EmptyMeasurement(),
+                               DefaultFitness(),
+                               checkpoint_path=checkpoint)
+        with pytest.raises(ConfigError, match="empty result list"):
+            engine.run()
+        assert checkpoint.exists()
+
+    def test_no_checkpoint_path_still_raises_cleanly(self, tiny_config):
+        with pytest.raises(ConfigError, match="empty result list"):
+            _engine(tiny_config, _EmptyMeasurement()).run()

@@ -301,6 +301,32 @@ class TestCheckpointResume:
             GeneticEngine.resume(tiny_config, _LdrCounter(),
                                  DefaultFitness(), bad)
 
+    def test_resume_unsupported_version(self, tiny_config, tmp_path):
+        import pickle
+        checkpoint = tmp_path / "v.ckpt"
+        GeneticEngine(tiny_config, _LdrCounter(), DefaultFitness(),
+                      checkpoint_path=checkpoint).run(generations=1)
+        payload = pickle.loads(checkpoint.read_bytes())
+        payload["version"] = 99
+        checkpoint.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ConfigError,
+                           match="unsupported version 99"):
+            GeneticEngine.resume(tiny_config, _LdrCounter(),
+                                 DefaultFitness(), checkpoint)
+
+    def test_resume_missing_version_field(self, tiny_config, tmp_path):
+        import pickle
+        checkpoint = tmp_path / "v.ckpt"
+        GeneticEngine(tiny_config, _LdrCounter(), DefaultFitness(),
+                      checkpoint_path=checkpoint).run(generations=1)
+        payload = pickle.loads(checkpoint.read_bytes())
+        del payload["version"]
+        checkpoint.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ConfigError,
+                           match="unsupported version None"):
+            GeneticEngine.resume(tiny_config, _LdrCounter(),
+                                 DefaultFitness(), checkpoint)
+
     def test_resume_past_the_end_rejected(self, tiny_library,
                                           tiny_template, tmp_path):
         ga = GAParameters(population_size=6, individual_size=8,

@@ -87,7 +87,8 @@ class TestCliParser:
         parser = build_parser()
         actions = {a.dest: a for a in parser._actions}
         sub = actions["command"]
-        assert set(sub.choices) == {"run", "measure", "stats", "presets"}
+        assert set(sub.choices) == {"run", "measure", "lint", "check",
+                                    "selfcheck", "stats", "presets"}
 
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "c.xml"])
