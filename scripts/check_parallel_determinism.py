@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Cross-check the evaluation layer's determinism contract end-to-end.
+
+Runs the shipped arm_power configuration (at a reduced scale) three
+times — SerialBackend, ProcessPoolBackend(2), and SerialBackend with
+the evaluation cache — and verifies all three produce identical run
+histories and bit-identical population binaries.  Exits non-zero on
+any mismatch; CI runs this after the parallel test leg.
+
+Usage: PYTHONPATH=src python scripts/check_parallel_determinism.py
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.config import parse_config_file
+from repro.core.engine import GeneticEngine
+from repro.core.loader import instantiate, load_class
+from repro.core.output import OutputRecorder
+from repro.cpu import SimulatedMachine, SimulatedTarget
+from repro.evaluation import (EvaluationCache, ProcessPoolBackend,
+                              SerialBackend)
+from repro.measurement.base import Measurement
+
+CONFIG = Path(__file__).resolve().parent.parent / "configs" / "arm_power" \
+    / "config.xml"
+GENERATIONS = 4
+
+
+def run_variant(workdir: Path, name: str, backend, cache):
+    config = parse_config_file(CONFIG)
+    config.ga.generations = GENERATIONS
+    config.ga.population_size = 10
+    machine = SimulatedMachine("cortex_a15", seed=config.ga.seed or 0,
+                               sim_cycles=600)
+    target = SimulatedTarget(machine)
+    target.connect()
+    measurement = instantiate(config.measurement_class, Measurement,
+                              target, config.measurement_params)
+    fitness = load_class(config.fitness_class)()
+    recorder = OutputRecorder(workdir / name)
+    engine = GeneticEngine(config, measurement, fitness,
+                           recorder=recorder, backend=backend, cache=cache)
+    history = engine.run()
+    return history, recorder
+
+
+def main() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory() as raw:
+        workdir = Path(raw)
+        variants = [
+            ("serial", lambda: (SerialBackend(), None)),
+            ("parallel", lambda: (ProcessPoolBackend(2), None)),
+            ("cached", lambda: (SerialBackend(),
+                                EvaluationCache("cross-check"))),
+        ]
+        histories = {}
+        recorders = {}
+        for name, build in variants:
+            backend, cache = build()
+            print(f"running {name} variant "
+                  f"({GENERATIONS} generations)...", flush=True)
+            histories[name], recorders[name] = run_variant(
+                workdir, name, backend, cache)
+
+        reference = histories["serial"]
+        for name in ("parallel", "cached"):
+            if histories[name].generations != reference.generations:
+                print(f"FAIL: {name} run history differs from serial")
+                for serial_g, other_g in zip(reference.generations,
+                                             histories[name].generations):
+                    if serial_g != other_g:
+                        print(f"  first divergence at generation "
+                              f"{serial_g.number}:")
+                        print(f"    serial: {serial_g}")
+                        print(f"    {name}: {other_g}")
+                        break
+                failures += 1
+            else:
+                print(f"ok: {name} run history identical to serial")
+
+            serial_files = recorders["serial"].population_files()
+            other_files = recorders[name].population_files()
+            if len(serial_files) != len(other_files):
+                print(f"FAIL: {name} wrote {len(other_files)} population "
+                      f"binaries, serial wrote {len(serial_files)}")
+                failures += 1
+                continue
+            mismatched = [
+                a.name for a, b in zip(serial_files, other_files)
+                if a.read_bytes() != b.read_bytes()
+            ]
+            if mismatched:
+                print(f"FAIL: {name} population binaries differ from "
+                      f"serial: {mismatched}")
+                failures += 1
+            else:
+                print(f"ok: {name} population binaries bit-identical "
+                      f"({len(serial_files)} files)")
+
+    if failures:
+        print(f"\n{failures} determinism check(s) failed")
+        return 1
+    print("\nall determinism cross-checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@ The original tool is driven as ``python gest.py <config.xml>``.  This
 reproduction mirrors that::
 
     gest run config.xml [--generations N] [--platform NAME] [--no-screen]
+                        [--workers N] [--cache | --no-cache]
     gest measure source.s --platform NAME [--cores N]
     gest lint config.xml [--json]
     gest check source.s [--platform NAME] [--json]
@@ -40,6 +41,7 @@ from .core.output import OutputRecorder
 from .cpu.machine import SimulatedMachine
 from .cpu.microarch import preset_names
 from .cpu.target import SimulatedTarget
+from .evaluation import EvaluationCache, StageTimings
 from .fitness.default_fitness import DefaultFitness
 from .measurement.base import Measurement
 from .staticcheck import (StaticScreen, analyze_program,
@@ -73,6 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable pre-measurement static screening")
     run.add_argument("--no-lint", action="store_true",
                      help="skip the eager config lint before the search")
+    run.add_argument("--workers", type=int, default=None,
+                     help="evaluation worker processes (default: the "
+                          "config's <evaluation workers=...>, or 1); "
+                          "each worker replicates the simulated board")
+    cache_group = run.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache", dest="cache", action="store_true", default=None,
+        help="memoise evaluations in <results>/evaluation_cache.json "
+             "(default: the config's <evaluation cache=...>)")
+    cache_group.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="disable the evaluation cache")
 
     measure = sub.add_parser(
         "measure", help="compile and run one source file, print sensors")
@@ -143,9 +157,26 @@ def _command_run(args: argparse.Namespace) -> int:
     results_dir = args.results or config.results_dir
     recorder = OutputRecorder(results_dir) if results_dir else None
     screen = None if args.no_screen else StaticScreen(machine.assembler)
+
+    if args.cache is not None:
+        config.evaluation.cache = args.cache
+    cache = None
+    cache_path = None
+    if config.evaluation.cache:
+        fingerprint = (f"{measurement.fingerprint()}"
+                       f"|noise_seed={config.ga.seed or 0}")
+        if recorder is not None:
+            cache_path = recorder.results_dir / "evaluation_cache.json"
+        if cache_path is not None and cache_path.exists():
+            cache = EvaluationCache.load(cache_path, fingerprint)
+        else:
+            cache = EvaluationCache(fingerprint)
+
     engine = GeneticEngine(config, measurement, fitness, recorder=recorder,
-                           screen=screen)
+                           screen=screen, cache=cache, workers=args.workers)
     history = engine.run(args.generations)
+    if cache is not None and cache_path is not None:
+        cache.save(cache_path)
 
     best = history.best_individual
     if not args.quiet:
@@ -155,6 +186,18 @@ def _command_run(args: argparse.Namespace) -> int:
             print(f"generation {stats.number:3d}  "
                   f"best {stats.best_fitness:10.4f}  "
                   f"mean {stats.mean_fitness:10.4f}{screened}")
+        totals = StageTimings()
+        cache_hits = measured = 0
+        for stats in history.generations:
+            totals.add(stats.timings)
+            cache_hits += stats.cache_hits
+            measured += stats.measured
+        print(f"\nevaluation: {measured} measured, "
+              f"{cache_hits} cache hit(s); "
+              f"render {totals.render_s:.2f}s  "
+              f"screen {totals.screen_s:.2f}s  "
+              f"measure {totals.measure_s:.2f}s  "
+              f"score {totals.score_s:.2f}s")
         print(f"\nbest individual uid={best.uid} "
               f"fitness={best.fitness:.4f} "
               f"measurements={[round(m, 4) for m in best.measurements]}")

@@ -8,8 +8,8 @@ Public surface re-exported here:
 * plumbing — templates, output recording, dynamic class loading
 """
 
-from .config import (GAParameters, RunConfig, config_to_xml,
-                     parse_config_file, parse_config_text,
+from .config import (EvaluationParameters, GAParameters, RunConfig,
+                     config_to_xml, parse_config_file, parse_config_text,
                      parse_measurement_config)
 from .engine import GenerationStats, GeneticEngine, RunHistory
 from .errors import (AssemblyError, ConfigError, GestError, LoaderError,
@@ -27,8 +27,8 @@ from .rng import make_rng, spawn
 from .template import LOOP_MARKER, Template
 
 __all__ = [
-    "GAParameters", "RunConfig", "config_to_xml", "parse_config_file",
-    "parse_config_text", "parse_measurement_config",
+    "EvaluationParameters", "GAParameters", "RunConfig", "config_to_xml",
+    "parse_config_file", "parse_config_text", "parse_measurement_config",
     "GenerationStats", "GeneticEngine", "RunHistory",
     "AssemblyError", "ConfigError", "GestError", "LoaderError",
     "MeasurementError", "SimulationError", "TargetError", "TemplateError",

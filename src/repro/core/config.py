@@ -51,6 +51,7 @@ from .operand import ImmediateOperand, LabelOperand, Operand, RegisterOperand
 
 __all__ = [
     "GAParameters",
+    "EvaluationParameters",
     "RunConfig",
     "parse_config_file",
     "parse_config_text",
@@ -108,6 +109,28 @@ class GAParameters:
 
 
 @dataclass
+class EvaluationParameters:
+    """How a generation is evaluated (:mod:`repro.evaluation`).
+
+    ``workers`` selects the executor backend: 1 means the in-process
+    :class:`~repro.evaluation.backends.SerialBackend`; N > 1 fans each
+    generation's unevaluated individuals over N replicated worker
+    processes (the paper measures on multiple boards the same way).
+    ``cache`` enables the content-addressed
+    :class:`~repro.evaluation.cache.EvaluationCache`.  Either way the
+    run's populations and history are bit-identical — the evaluation
+    layer's determinism contract.
+    """
+
+    workers: int = 1
+    cache: bool = False
+
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise ConfigError("evaluation workers must be >= 1")
+
+
+@dataclass
 class RunConfig:
     """Everything one GA run needs.
 
@@ -125,9 +148,12 @@ class RunConfig:
     measurement_params: Dict[str, str] = field(default_factory=dict)
     results_dir: Optional[Path] = None
     seed_population_file: Optional[Path] = None
+    evaluation: EvaluationParameters = field(
+        default_factory=EvaluationParameters)
 
     def validate(self) -> None:
         self.ga.validate()
+        self.evaluation.validate()
         if not self.template_text:
             raise ConfigError("run config has no template source")
 
@@ -258,9 +284,27 @@ def parse_config_text(text: str,
         measurement_params=measurement_params,
         results_dir=results_dir,
         seed_population_file=seed_population_file,
+        evaluation=_parse_evaluation(root.find("evaluation")),
     )
     config.validate()
     return config
+
+
+def _parse_evaluation(
+        element: Optional[ET.Element]) -> EvaluationParameters:
+    evaluation = EvaluationParameters()
+    if element is None:
+        return evaluation
+    context = "<evaluation>"
+    try:
+        if element.get("workers") is not None:
+            evaluation.workers = int(element.get("workers"))
+    except ValueError as exc:
+        raise ConfigError(f"{context}: non-numeric workers value") from exc
+    if element.get("cache") is not None:
+        evaluation.cache = _parse_bool(element.get("cache"), context)
+    evaluation.validate()
+    return evaluation
 
 
 def _parse_ga(element: Optional[ET.Element]) -> GAParameters:
@@ -362,6 +406,10 @@ def config_to_xml(config: RunConfig, template_filename: str = "template.s",
     })
     ET.SubElement(root, "measurement", {"class": config.measurement_class})
     ET.SubElement(root, "fitness", {"class": config.fitness_class})
+    ET.SubElement(root, "evaluation", {
+        "workers": str(config.evaluation.workers),
+        "cache": "true" if config.evaluation.cache else "false",
+    })
 
     operands_el = ET.SubElement(root, "operands")
     for operand in config.library.operands.values():

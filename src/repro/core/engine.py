@@ -1,11 +1,15 @@
 """The GA engine (paper Section III.A, Figure 2).
 
-The engine coordinates the whole flow: seed population → measure
-individuals → create next generation (selection, crossover, mutation,
-elitism) → repeat.  Measurement and fitness objects are supplied by the
-caller (or loaded dynamically from a :class:`RunConfig`), keeping the
-engine agnostic of *what* is being optimised — exactly the plug-and-play
-structure the paper argues for.
+The engine coordinates the GA flow: seed population → evaluate → create
+next generation (selection, crossover, mutation, elitism) → repeat.
+Evaluation itself — render, screen, measure, score — lives in the
+staged :mod:`repro.evaluation` layer, which the engine drives through a
+:class:`~repro.evaluation.evaluator.StagedEvaluator`: a pluggable
+executor backend (serial, or a process pool replicating the simulated
+board per worker — the paper measures on multiple boards the same way)
+plus an optional content-addressed evaluation cache.  Results merge
+back in deterministic uid order, so every backend/cache combination
+yields bit-identical populations, checkpoints and run histories.
 
 Compile failures are tolerated: an individual whose generated source
 does not assemble receives fitness 0 and stays in the records, it just
@@ -14,14 +18,22 @@ never wins a tournament.
 
 from __future__ import annotations
 
+import os
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from random import Random
-from typing import List, Optional, Protocol, Sequence, Union
+from typing import List, Optional, Union
 
+from ..evaluation.backends import ExecutorBackend, ProcessPoolBackend, \
+    SerialBackend
+from ..evaluation.cache import EvaluationCache
+from ..evaluation.evaluator import GenerationOutcome, StagedEvaluator
+from ..evaluation.pipeline import (EvaluationPipeline, FitnessProtocol,
+                                   MeasurementProtocol, ScreenProtocol,
+                                   ScreenReportProtocol, StageTimings)
 from .config import RunConfig
-from .errors import AssemblyError, ConfigError
+from .errors import ConfigError
 from .individual import Individual, random_individual
 from .operators import CROSSOVER_OPERATORS, mutate, tournament_select
 from .output import OutputRecorder
@@ -31,46 +43,23 @@ from .template import Template
 
 __all__ = ["MeasurementProtocol", "FitnessProtocol", "ScreenProtocol",
            "ScreenReportProtocol", "GenerationStats", "RunHistory",
-           "GeneticEngine"]
+           "GeneticEngine", "WORKERS_ENV_VAR"]
 
-
-class MeasurementProtocol(Protocol):
-    """What the engine needs from a measurement object (paper III.C)."""
-
-    def measure(self, source_text: str,
-                individual: Individual) -> List[float]:
-        """Compile and run ``source_text`` on the target, returning the
-        list of measurement values (first one is the default fitness)."""
-        ...
-
-
-class FitnessProtocol(Protocol):
-    """What the engine needs from a fitness object (paper III.C)."""
-
-    def get_fitness(self, measurements: Sequence[float],
-                    individual: Individual) -> float:
-        ...
-
-
-class ScreenReportProtocol(Protocol):
-    """Verdict shape returned by a static screen."""
-
-    passed: bool
-    assembly_failed: bool
-
-
-class ScreenProtocol(Protocol):
-    """What the engine needs from a pre-measurement static screen
-    (see :class:`repro.staticcheck.screen.StaticScreen`)."""
-
-    def screen(self, source_text: str,
-               individual: Individual) -> ScreenReportProtocol:
-        ...
+#: Environment override for the evaluation worker count (CI runs the
+#: suite under a 2-worker backend this way).  Explicit ``backend`` or
+#: ``workers`` arguments win over the environment.
+WORKERS_ENV_VAR = "GEST_EVAL_WORKERS"
 
 
 @dataclass
 class GenerationStats:
-    """Per-generation summary used for convergence analysis."""
+    """Per-generation summary used for convergence analysis.
+
+    The observability fields (``compare=False``) — per-stage timings
+    and cache/screen/measure counters — are excluded from equality so
+    run histories compare identical across executor backends and cache
+    settings, where wall-clock and hit counts legitimately differ.
+    """
 
     number: int
     best_fitness: float
@@ -82,6 +71,15 @@ class GenerationStats:
     #: are also counted in ``compile_failures``).
     screen_failures: int = 0
     best_measurements: List[float] = field(default_factory=list)
+    #: Individuals satisfied from the evaluation cache this pass.
+    cache_hits: int = field(default=0, compare=False)
+    #: Individuals that entered the measure stage this pass.
+    measured: int = field(default=0, compare=False)
+    #: Individuals that entered the screen stage this pass.
+    screened: int = field(default=0, compare=False)
+    #: Cumulative per-stage evaluation seconds for this generation.
+    timings: StageTimings = field(default_factory=StageTimings,
+                                  compare=False)
 
 
 @dataclass
@@ -99,6 +97,17 @@ class RunHistory:
         return [g.mean_fitness for g in self.generations]
 
 
+def _workers_from_environment() -> Optional[int]:
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{WORKERS_ENV_VAR}={raw!r} is not an integer worker count")
+
+
 class GeneticEngine:
     """Runs one GA search.
 
@@ -106,13 +115,19 @@ class GeneticEngine:
     ----------
     config:
         The run configuration (GA parameters, instruction library,
-        template text, optional seed-population file).
+        template text, optional seed-population file, evaluation
+        settings).
     measurement, fitness:
-        Plug-in objects; see the protocols above.
+        Plug-in objects; see the protocols in
+        :mod:`repro.evaluation.pipeline`.  The measurement must
+        implement both ``measure`` and ``measure_repeated`` — a plug-in
+        missing either fails here, at construction, rather than
+        silently measuring single-shot.
     recorder:
         Optional :class:`OutputRecorder`; when given, every individual
         source file and every generation binary is persisted per the
-        paper's output conventions.
+        paper's output conventions, along with per-generation
+        evaluation statistics.
     rng:
         Optional explicit random stream; defaults to one seeded from
         ``config.ga.seed``.
@@ -128,6 +143,17 @@ class GeneticEngine:
         the screen rejects are recorded as zero-fitness screen failures
         without entering the measurement path; counts appear in
         :class:`GenerationStats`.
+    backend:
+        Optional explicit :class:`ExecutorBackend`.  Defaults from
+        ``workers``: 1 → :class:`SerialBackend`, N > 1 →
+        :class:`ProcessPoolBackend`.
+    cache:
+        Optional explicit :class:`EvaluationCache`; defaults to a fresh
+        cache when ``config.evaluation.cache`` is set.
+    workers:
+        Worker-count shortcut when no explicit backend is given; wins
+        over the ``GEST_EVAL_WORKERS`` environment variable, which in
+        turn wins over ``config.evaluation.workers``.
     """
 
     def __init__(self, config: RunConfig,
@@ -136,7 +162,10 @@ class GeneticEngine:
                  recorder: Optional[OutputRecorder] = None,
                  rng: Optional[Random] = None,
                  checkpoint_path: Optional[Union[str, Path]] = None,
-                 screen: Optional[ScreenProtocol] = None
+                 screen: Optional[ScreenProtocol] = None,
+                 backend: Optional[ExecutorBackend] = None,
+                 cache: Optional[EvaluationCache] = None,
+                 workers: Optional[int] = None
                  ) -> None:
         config.validate()
         self.config = config
@@ -152,8 +181,32 @@ class GeneticEngine:
         self.checkpoint_path = Path(checkpoint_path) \
             if checkpoint_path is not None else None
         self._resume_state: Optional[dict] = None
+        self._last_outcome: Optional[GenerationOutcome] = None
+
+        pipeline = EvaluationPipeline(
+            template=self.template, measurement=measurement,
+            fitness=fitness, screen=screen,
+            noise_seed=config.ga.seed if config.ga.seed is not None else 0)
+        if backend is None:
+            if workers is None:
+                workers = _workers_from_environment()
+            if workers is None:
+                workers = config.evaluation.workers
+            backend = SerialBackend() if workers <= 1 \
+                else ProcessPoolBackend(workers)
+        if cache is None and config.evaluation.cache:
+            cache = EvaluationCache(self._cache_fingerprint(pipeline))
+        self.evaluator = StagedEvaluator(pipeline, backend=backend,
+                                         cache=cache)
         if recorder is not None:
             recorder.record_provenance(config)
+
+    def _cache_fingerprint(self, pipeline: EvaluationPipeline) -> str:
+        fingerprint = getattr(self.measurement, "fingerprint", None)
+        base = fingerprint() if callable(fingerprint) else \
+            f"{type(self.measurement).__module__}." \
+            f"{type(self.measurement).__qualname__}"
+        return f"{base}|noise_seed={pipeline.noise_seed}"
 
     # -- public API ---------------------------------------------------------
 
@@ -172,23 +225,39 @@ class GeneticEngine:
             self._next_uid = state["next_uid"]
             self._best = state["best"]
             self.rng.setstate(state["rng_state"])
-            start = state["generation"] + 1
-            if start >= total:
-                raise ConfigError(
-                    f"checkpoint already covers generation "
-                    f"{state['generation']} of a {total}-generation run")
-            population = self._breed(population, start)
+            if any(not individual.evaluated for individual in population):
+                # A mid-generation checkpoint (e.g. the empty-measurement
+                # abort path): finish evaluating this generation before
+                # breeding past it instead of discarding the unevaluated
+                # individuals.
+                start = state["generation"]
+                if start >= total:
+                    raise ConfigError(
+                        f"checkpoint holds a partially evaluated "
+                        f"generation {start}, past the requested "
+                        f"{total}-generation run")
+            else:
+                start = state["generation"] + 1
+                if start >= total:
+                    raise ConfigError(
+                        f"checkpoint already covers generation "
+                        f"{state['generation']} of a {total}-generation "
+                        "run")
+                population = self._breed(population, start)
         else:
             population = self._seed_population()
             start = 0
-        for number in range(start, total):
-            population.number = number
-            for individual in population:
-                individual.generation = number
-            self._evaluate_population(population)
-            self._record_generation(population, history)
-            if number < total - 1:
-                population = self._breed(population, number + 1)
+        try:
+            for number in range(start, total):
+                population.number = number
+                for individual in population:
+                    individual.generation = number
+                self._evaluate_population(population)
+                self._record_generation(population, history)
+                if number < total - 1:
+                    population = self._breed(population, number + 1)
+        finally:
+            self.evaluator.close()
 
         history.final_population = population
         history.best_individual = self._best
@@ -196,7 +265,7 @@ class GeneticEngine:
 
     def render_source(self, individual: Individual) -> str:
         """Instantiate the template with an individual's loop body."""
-        return self.template.instantiate(individual.render_body())
+        return self.evaluator.pipeline.render(individual)
 
     # -- GA steps -------------------------------------------------------------
 
@@ -220,47 +289,26 @@ class GeneticEngine:
         return Population(individuals, number=0)
 
     def _evaluate_population(self, population: Population) -> None:
-        for individual in population:
-            if individual.evaluated:
-                continue
-            source = self.render_source(individual)
-            if self.screen is not None:
-                report = self.screen.screen(source, individual)
-                if not report.passed:
-                    # Same zero-fitness path as a compile failure, but
-                    # the individual never enters the pipeline model.
-                    individual.record_evaluation(
-                        [0.0], 0.0,
-                        compile_failed=report.assembly_failed,
-                        screen_failed=True)
-                    if self.recorder is not None:
-                        self.recorder.record_individual(individual, source)
-                    self._update_best(individual)
-                    continue
-            measure = getattr(self.measurement, "measure_repeated",
-                              self.measurement.measure)
-            try:
-                measurements = measure(source, individual)
-            except AssemblyError:
-                individual.record_evaluation([0.0], 0.0, compile_failed=True)
-            else:
-                if not measurements:
-                    # Persist what this generation has produced so far —
-                    # an hours-long run should not lose the partial
-                    # generation to a measurement plug-in bug.
-                    if self.checkpoint_path is not None:
-                        self.save_checkpoint(population)
-                    raise ConfigError(
-                        f"measurement "
-                        f"{type(self.measurement).__name__!r} returned "
-                        f"an empty result list for individual "
-                        f"uid={individual.uid} in generation "
-                        f"{individual.generation}")
-                value = self.fitness.get_fitness(measurements, individual)
-                individual.record_evaluation(measurements, value)
+        """Drive the staged evaluator and merge results in uid order."""
+        outcome = self.evaluator.evaluate_population(population)
+        self._last_outcome = outcome
+        by_uid = {individual.uid: individual for individual in population}
+        for result in outcome.results:
+            individual = by_uid[result.uid]
+            individual.record_evaluation(
+                result.measurements, result.fitness,
+                compile_failed=result.compile_failed,
+                screen_failed=result.screen_failed)
             if self.recorder is not None:
-                self.recorder.record_individual(individual, source)
+                self.recorder.record_individual(individual, result.source)
             self._update_best(individual)
+        if outcome.error is not None:
+            # Persist what this generation has produced so far — an
+            # hours-long run should not lose the partial generation to
+            # a measurement plug-in bug.
+            if self.checkpoint_path is not None:
+                self.save_checkpoint(population)
+            raise outcome.error
 
     def _breed(self, population: Population, next_number: int) -> Population:
         """Create the next generation (paper Figure 3)."""
@@ -331,14 +379,21 @@ class GeneticEngine:
                fitness: FitnessProtocol,
                checkpoint_path: Union[str, Path],
                recorder: Optional[OutputRecorder] = None,
-               screen: Optional[ScreenProtocol] = None
+               screen: Optional[ScreenProtocol] = None,
+               backend: Optional[ExecutorBackend] = None,
+               cache: Optional[EvaluationCache] = None,
+               workers: Optional[int] = None
                ) -> "GeneticEngine":
         """Rebuild an engine from a checkpoint file.
 
         The next :meth:`run` continues from the generation after the
         checkpointed one and reproduces exactly what the uninterrupted
         run would have produced (population, RNG stream and uid counter
-        are all restored).
+        are all restored).  A checkpoint holding a *partially
+        evaluated* generation — written by the abort path when a
+        measurement plug-in returns no values — is finished first: its
+        unevaluated individuals go back through the evaluation pipeline
+        before breeding continues.
         """
         checkpoint_path = Path(checkpoint_path)
         if not checkpoint_path.exists():
@@ -358,13 +413,15 @@ class GeneticEngine:
                 "search or convert the checkpoint with the writing "
                 "version")
         engine = cls(config, measurement, fitness, recorder=recorder,
-                     checkpoint_path=checkpoint_path, screen=screen)
+                     checkpoint_path=checkpoint_path, screen=screen,
+                     backend=backend, cache=cache, workers=workers)
         engine._resume_state = payload
         return engine
 
     def _record_generation(self, population: Population,
                            history: RunHistory) -> None:
         best = population.fittest()
+        outcome = self._last_outcome
         stats = GenerationStats(
             number=population.number,
             best_fitness=best.fitness if best.fitness is not None else 0.0,
@@ -375,8 +432,14 @@ class GeneticEngine:
                                 if getattr(i, "screen_failed", False)),
             best_measurements=list(best.measurements),
         )
+        if outcome is not None:
+            stats.cache_hits = outcome.cache_hits
+            stats.measured = outcome.measured
+            stats.screened = outcome.screened
+            stats.timings = outcome.timings
         history.generations.append(stats)
         if self.recorder is not None:
             self.recorder.record_population(population)
+            self.recorder.record_stats(asdict(stats))
         if self.checkpoint_path is not None:
             self.save_checkpoint(population)

@@ -15,6 +15,7 @@ record-keeping copies of the configuration and template.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import List, Optional, Union
 
@@ -64,6 +65,17 @@ class OutputRecorder:
         """Write one individual's generated source file."""
         path = self.individuals_dir / individual_filename(individual)
         path.write_text(source_text)
+        return path
+
+    def record_stats(self, stats: dict) -> Path:
+        """Append one generation's evaluation statistics to
+        ``stats.jsonl`` — one JSON object per line, in generation order,
+        covering fitness summary, failure counts, cache hits and the
+        per-stage evaluation wall-time.
+        """
+        path = self.results_dir / "stats.jsonl"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stats, sort_keys=True) + "\n")
         return path
 
     def record_population(self, population: Population) -> Path:

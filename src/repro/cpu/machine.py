@@ -148,6 +148,20 @@ class SimulatedMachine:
         """Assemble source text; raises AssemblyError on bad code."""
         return self.assembler.assemble(source, name=name)
 
+    # -- noise stream control ------------------------------------------------
+
+    def reseed(self, seed: int) -> None:
+        """Reset the measurement-noise stream to a known point.
+
+        The staged evaluation layer (:mod:`repro.evaluation`) pins a
+        per-individual noise substream before every measurement so that
+        a run's observables are a pure function of (source, machine,
+        measurement parameters) — independent of evaluation order.
+        That is what makes serial, process-pool and cached evaluation
+        bit-identical, exactly like measuring on replicated boards.
+        """
+        self._rng = make_rng(seed)
+
     # -- idle characteristics ----------------------------------------------------
 
     def idle_core_power_w(self) -> float:

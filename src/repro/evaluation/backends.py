@@ -1,0 +1,163 @@
+"""Pluggable executor backends (the paper's "multiple boards").
+
+GeST measures a generation's individuals on however many target boards
+are attached; the backend abstraction reproduces that degree of
+freedom.  A backend takes the pre-rendered jobs the driver could not
+satisfy from cache and returns one :class:`EvaluationResult` per job,
+**in submission order** — the driver merges them back into the
+population in deterministic uid order, so every backend yields
+bit-identical checkpoints, populations and run histories.
+
+* :class:`SerialBackend` — the default: evaluates in the driver
+  process against the live plug-in objects, sharing their state
+  (screen counters, call counters in test doubles) exactly as the old
+  monolithic engine loop did.
+
+* :class:`ProcessPoolBackend` — fans jobs out over N forked worker
+  processes.  Each worker inherits a *replica* of the whole pipeline —
+  its own :class:`~repro.cpu.machine.SimulatedMachine`, measurement,
+  fitness and screen — so per-board state never races.  Requires the
+  ``fork`` start method (the pipeline deliberately replicates by
+  inheritance so even unpicklable user plug-ins parallelise); results
+  and the per-job individuals are pickled across the process boundary.
+
+An :class:`EmptyMeasurementError` raised inside a worker is returned
+*in band* as the result item for its job; the driver applies every
+result before the failure point, checkpoints, and re-raises — so a
+plug-in bug costs at most one generation regardless of backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import ConfigError
+from ..core.individual import Individual
+from .pipeline import EmptyMeasurementError, EvaluationPipeline, \
+    EvaluationResult
+
+__all__ = ["ExecutorBackend", "SerialBackend", "ProcessPoolBackend"]
+
+#: A unit of work: the individual plus its pre-rendered source.
+Job = Tuple[Individual, str]
+#: Backends return results or, in band, the error that stopped a job.
+ResultOrError = Union[EvaluationResult, EmptyMeasurementError]
+
+
+class ExecutorBackend(ABC):
+    """Strategy interface for evaluating a batch of pipeline jobs."""
+
+    #: True when the backend evaluates against the driver's live
+    #: plug-in objects (their in-process state — screen counters, test
+    #: doubles — observes the evaluations).  Replicating backends set
+    #: this False so the driver knows to sync observable counters from
+    #: the returned results instead.
+    shares_state = True
+
+    @abstractmethod
+    def evaluate(self, pipeline: EvaluationPipeline,
+                 jobs: Sequence[Job]) -> List[ResultOrError]:
+        """Evaluate ``jobs``; results in submission order.
+
+        Stops dispatching after the first
+        :class:`EmptyMeasurementError`, which is appended in band as
+        the final item.
+        """
+
+    def close(self) -> None:
+        """Release any execution resources (idempotent)."""
+
+
+class SerialBackend(ExecutorBackend):
+    """Evaluate in the driver process — bit-identical to the engine's
+    historical single loop, and the default."""
+
+    shares_state = True
+
+    def evaluate(self, pipeline: EvaluationPipeline,
+                 jobs: Sequence[Job]) -> List[ResultOrError]:
+        results: List[ResultOrError] = []
+        for individual, source in jobs:
+            try:
+                results.append(pipeline.evaluate(individual, source=source))
+            except EmptyMeasurementError as exc:
+                results.append(exc)
+                break
+        return results
+
+
+# -- worker-side plumbing (module-level so the pool can address it) ---------
+
+_WORKER_PIPELINE: Optional[EvaluationPipeline] = None
+
+
+def _init_worker(pipeline: EvaluationPipeline) -> None:
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = pipeline
+
+
+def _run_job(job: Job) -> ResultOrError:
+    individual, source = job
+    try:
+        return _WORKER_PIPELINE.evaluate(individual, source=source)
+    except EmptyMeasurementError as exc:
+        return exc
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Fan a generation's unevaluated individuals over worker processes.
+
+    The pool is created lazily on the first batch (so the fork
+    snapshots the fully-constructed pipeline) and persists across
+    generations; the engine closes it when the run finishes.
+    """
+
+    shares_state = False
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigError("evaluation workers must be >= 1")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigError(
+                "ProcessPoolBackend needs the 'fork' start method (worker "
+                "replicas inherit the pipeline by forking); this platform "
+                "offers none — use SerialBackend")
+        self.workers = workers
+        self._pool = None
+        self._pipeline: Optional[EvaluationPipeline] = None
+
+    def evaluate(self, pipeline: EvaluationPipeline,
+                 jobs: Sequence[Job]) -> List[ResultOrError]:
+        if not jobs:
+            return []
+        pool = self._ensure_pool(pipeline)
+        chunk = max(1, len(jobs) // (self.workers * 4))
+        results: List[ResultOrError] = []
+        # imap preserves submission order, so the truncation point on a
+        # plug-in failure is identical to SerialBackend's stop point.
+        for item in pool.imap(_run_job, list(jobs), chunksize=chunk):
+            results.append(item)
+            if isinstance(item, EmptyMeasurementError):
+                break
+        return results
+
+    def _ensure_pool(self, pipeline: EvaluationPipeline):
+        if self._pool is not None and self._pipeline is not pipeline:
+            # A stale pool would evaluate against the old forked replica.
+            self.close()
+        if self._pool is None:
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(self.workers,
+                                      initializer=_init_worker,
+                                      initargs=(pipeline,))
+            self._pipeline = pipeline
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pipeline = None

@@ -1,0 +1,155 @@
+"""Content-addressed evaluation cache.
+
+An evaluation's observables are a pure function of the rendered source,
+the target machine, and the measurement parameters (see the determinism
+contract in :mod:`repro.evaluation.pipeline`), so they can be memoised
+under a content address: ``sha256(target fingerprint ‖ rendered
+source)``.  Hits skip the screen *and* the pipeline model entirely —
+re-measured elitism clones cost nothing, and a resumed or re-seeded run
+replays previously measured genomes from the cache file instead of the
+simulator.
+
+Only the measurements and failure flags are cached.  Fitness is always
+re-scored against the hitting individual, because fitness plug-ins may
+read genome properties (e.g. the simplicity term of the paper's
+Equation 1) that differ between individuals sharing a source digest —
+in practice they never do for identical sources, which keeps cached and
+uncached runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.errors import ConfigError
+
+__all__ = ["CachedEvaluation", "EvaluationCache"]
+
+_FORMAT = "gest-repro-evaluation-cache"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CachedEvaluation:
+    """The replayable part of one evaluation."""
+
+    measurements: Tuple[float, ...]
+    compile_failed: bool = False
+    screen_failed: bool = False
+
+
+class EvaluationCache:
+    """In-memory store keyed on (fingerprint, rendered source).
+
+    Parameters
+    ----------
+    fingerprint:
+        Stable description of everything besides the source that
+        determines a measurement — target machine, measurement class
+        and parameters, noise seed (see
+        :meth:`repro.measurement.base.Measurement.fingerprint`).  Two
+        caches with different fingerprints never share entries, so a
+        cache file recorded against one platform cannot poison a run on
+        another.
+    """
+
+    def __init__(self, fingerprint: str = "") -> None:
+        self.fingerprint = fingerprint
+        self._entries: Dict[str, CachedEvaluation] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing ---------------------------------------------------------
+
+    def key(self, source_text: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.fingerprint.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source_text.encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- store --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, source_text: str) -> Optional[CachedEvaluation]:
+        entry = self._entries.get(self.key(source_text))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, source_text: str, entry: CachedEvaluation) -> None:
+        self._entries[self.key(source_text)] = entry
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- persistence (resumed runs skip the pipeline model) -----------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the entries as JSON (atomic replace)."""
+        path = Path(path)
+        payload = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "fingerprint": self.fingerprint,
+            "entries": {
+                key: {
+                    "measurements": list(entry.measurements),
+                    "compile_failed": entry.compile_failed,
+                    "screen_failed": entry.screen_failed,
+                }
+                for key, entry in sorted(self._entries.items())
+            },
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_suffix(path.suffix + ".tmp")
+        temp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        temp.replace(path)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path],
+             fingerprint: str = "") -> "EvaluationCache":
+        """Read a cache file.
+
+        A fingerprint mismatch returns an *empty* cache with the given
+        fingerprint rather than raising — stale entries from a
+        different target or measurement setup are simply not reusable.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise ConfigError(f"evaluation cache {path} does not exist")
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"evaluation cache {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+            raise ConfigError(
+                f"{path} is not an evaluation cache file")
+        if payload.get("version") != _VERSION:
+            raise ConfigError(
+                f"evaluation cache {path} has unsupported version "
+                f"{payload.get('version')!r}; this build reads "
+                f"version {_VERSION}")
+        cache = cls(fingerprint)
+        if payload.get("fingerprint") != fingerprint:
+            return cache
+        for key, raw in payload.get("entries", {}).items():
+            cache._entries[key] = CachedEvaluation(
+                measurements=tuple(float(m)
+                                   for m in raw.get("measurements", [])),
+                compile_failed=bool(raw.get("compile_failed", False)),
+                screen_failed=bool(raw.get("screen_failed", False)),
+            )
+        return cache

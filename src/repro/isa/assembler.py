@@ -106,6 +106,25 @@ class BaseAssembler:
                                           Tuple[DecodedInstruction,
                                                 Optional[str]]]] = {}
 
+    # -- pickling ------------------------------------------------------------
+    #
+    # The handler table is full of per-opcode closures, which pickle
+    # cannot serialise.  It is pure derived state, though: subclasses
+    # rebuild it from scratch in their no-argument __init__, so a
+    # pickled assembler simply drops the table and reconstructs it on
+    # load.  This is what lets measurement objects (which reach an
+    # assembler through their simulated machine) replicate into the
+    # worker processes of repro.evaluation's ProcessPoolBackend.
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("handlers", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        self.__dict__.update(state)
+
     # -- front-end hooks -----------------------------------------------------
 
     def register_values_from_init(

@@ -17,15 +17,42 @@ property the paper demonstrates.
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional
 
-from ..core.errors import MeasurementError
+from ..core.errors import ConfigError, MeasurementError
 from ..core.individual import Individual
 from ..cpu.machine import RunResult
 from ..cpu.target import SimulatedTarget
 
 __all__ = ["Measurement"]
+
+
+def _stable_repr(value) -> str:
+    """A repr that is identical across processes.
+
+    The cache fingerprint must survive hash randomisation — a plain
+    ``repr`` of a set or frozenset orders elements by their per-process
+    string hashes, so a fingerprint written by one run would silently
+    never match in the next and every persisted cache load would come
+    back empty.
+    """
+    if isinstance(value, (set, frozenset)):
+        return "{" + ", ".join(sorted(repr(v) for v in value)) + "}"
+    if isinstance(value, dict):
+        return "{" + ", ".join(f"{key!r}: {_stable_repr(item)}"
+                               for key, item in value.items()) + "}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ", ".join(
+            f"{f.name}={_stable_repr(getattr(value, f.name))}"
+            for f in dataclasses.fields(value))
+        return f"{type(value).__name__}({fields})"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_stable_repr(v) for v in value) + ")"
+    if isinstance(value, list):
+        return "[" + ", ".join(_stable_repr(v) for v in value) + "]"
+    return repr(value)
 
 
 class Measurement(ABC):
@@ -60,7 +87,11 @@ class Measurement(ABC):
         self.repeats = 1
         self.aggregate = "mean"
         self.source_name = "individual.s"
-        self.init(dict(params or {}))
+        #: The raw parameter mapping, kept for :meth:`fingerprint` so
+        #: subclass-specific knobs enter the cache address without every
+        #: subclass having to override it.
+        self.params: Dict[str, str] = dict(params or {})
+        self.init(dict(self.params))
 
     # -- overridables ------------------------------------------------------
 
@@ -112,12 +143,27 @@ class Measurement(ABC):
     def measure_repeated(self, source_text: str,
                          individual: Individual) -> List[float]:
         """Run :meth:`measure` ``repeats`` times and aggregate each
-        measurement index across repetitions."""
+        measurement index across repetitions.
+
+        Every repeat must return the same number of values; ragged
+        widths mean the procedure's output schema is unstable, and
+        silently truncating to the narrowest round would corrupt
+        downstream measurement indices (output file names, complex
+        fitness terms), so they raise :class:`ConfigError` instead.
+        """
         if self.repeats == 1:
             return self.measure(source_text, individual)
         rounds = [self.measure(source_text, individual)
                   for _ in range(self.repeats)]
-        width = min(len(r) for r in rounds)
+        widths = [len(r) for r in rounds]
+        if len(set(widths)) > 1:
+            uid = individual.uid if individual is not None else "?"
+            raise ConfigError(
+                f"measurement {type(self).__name__!r} returned ragged "
+                f"measurement widths {widths} across {self.repeats} "
+                f"repeats for individual uid={uid}; every repeat must "
+                "return the same number of values")
+        width = widths[0]
         aggregated: List[float] = []
         for index in range(width):
             values = sorted(r[index] for r in rounds)
@@ -131,6 +177,37 @@ class Measurement(ABC):
             else:
                 aggregated.append(sum(values) / len(values))
         return aggregated
+
+    # -- evaluation-layer contract ------------------------------------------
+    #
+    # The staged pipeline (repro.evaluation) treats a measurement as a
+    # replicable board: picklable (so ProcessPoolBackend can ship or
+    # fork copies), side-effect-free per call (execute_on_target cleans
+    # up after itself), and reseedable (so every individual observes a
+    # pinned noise substream regardless of evaluation order or worker).
+
+    def reseed_noise(self, key: int) -> None:
+        """Pin the target machine's noise stream for one individual."""
+        self.target.machine.reseed(key)
+
+    def fingerprint(self) -> str:
+        """Stable description of everything besides the rendered source
+        that determines this procedure's measurements — the cache's
+        content address (:class:`repro.evaluation.cache.EvaluationCache`).
+        """
+        machine = self.target.machine
+        cls = type(self)
+        params = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return "|".join([
+            f"{cls.__module__}.{cls.__qualname__}",
+            f"arch={_stable_repr(machine.arch)}",
+            f"env={machine.environment}",
+            f"sim_cycles={machine.sim_cycles}",
+            f"supply={machine.supply_v!r}",
+            f"nominal_hz={machine.nominal_frequency_hz!r}",
+            f"hierarchy={_stable_repr(machine.hierarchy)}",
+            f"params={params}",
+        ])
 
     # -- workflow helpers shared by the stock procedures ------------------------
 

@@ -16,15 +16,16 @@ Failed individuals take the same zero-fitness route as
 ever paying for pipeline simulation; the engine records them as screen
 failures in :class:`~repro.core.engine.GenerationStats`.
 
-Determinism note: screening an individual that *would have assembled*
-skips the measurement's noise draws and therefore shifts the machine's
-RNG stream for later individuals.  With the default error-only policy
-this cannot happen — assembly failures never reach the machine RNG
-anyway (compilation precedes execution), and dataflow errors only exist
-for programs with no loop body, which the generator never produces — so
-a screened run reproduces an unscreened run bit-for-bit.  Raising
-``fail_severity`` to ``WARNING`` trades that equivalence for a stricter
-gate.
+Determinism note: the staged evaluation layer
+(:mod:`repro.evaluation`) pins a per-source noise substream before
+every measurement, so a screened individual skipping its measurement
+can never shift the noise another individual observes — screening is
+order-free by construction, under any executor backend and with the
+evaluation cache on or off.  (Historically the machine drew noise from
+one sequential stream, and only the default error-only policy kept
+screened and unscreened runs bit-identical; that equivalence no longer
+depends on the policy, so raising ``fail_severity`` to ``WARNING`` is
+now purely a strictness choice.)
 """
 
 from __future__ import annotations

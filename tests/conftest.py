@@ -12,6 +12,21 @@ import pytest
 
 from repro.core import (GAParameters, RunConfig, Template, make_rng,
                         random_individual)
+from repro.core.engine import WORKERS_ENV_VAR
+
+
+@pytest.fixture(autouse=True)
+def _serial_evaluation_marker(request, monkeypatch):
+    """Honour the ``serial_evaluation`` marker.
+
+    CI runs the whole suite under ``GEST_EVAL_WORKERS=2`` to prove the
+    process-pool backend is behaviour-identical.  Tests that assert
+    *in-process* plug-in state (call counters on test doubles, live
+    screen stats) genuinely require the shared-state serial backend, so
+    the marker pins them there by clearing the environment override.
+    """
+    if request.node.get_closest_marker("serial_evaluation"):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
 from repro.core.instruction import InstructionLibrary, InstructionSpec
 from repro.core.operand import ImmediateOperand, RegisterOperand
 from repro.cpu import SimulatedMachine, SimulatedTarget

@@ -216,6 +216,9 @@ class TestLineage:
                 return [float(sum(1 for i in individual.instructions
                                   if i.name == "LDR"))]
 
+            def measure_repeated(self, source_text, individual):
+                return self.measure(source_text, individual)
+
         tiny_config.ga.generations = 6
         recorder = OutputRecorder(tmp_path / "run")
         GeneticEngine(tiny_config, LdrCounter(), DefaultFitness(),
@@ -282,6 +285,9 @@ class TestDiversity:
             def measure(self, source_text, individual):
                 return [float(sum(1 for i in individual.instructions
                                   if i.name == "LDR"))]
+
+            def measure_repeated(self, source_text, individual):
+                return self.measure(source_text, individual)
 
         tiny_config.ga.generations = 10
         tiny_config.ga.population_size = 10

@@ -29,6 +29,9 @@ class CountingMeasurement:
                           if i.name == "LDR"))
         return [score, score + 1.0]
 
+    def measure_repeated(self, source_text, individual):
+        return self.measure(source_text, individual)
+
 
 class FailingMeasurement(CountingMeasurement):
     """Marks every individual containing a NOP as a compile failure."""
@@ -59,6 +62,7 @@ class TestRunMechanics:
         assert all(len(ind) == tiny_config.ga.individual_size
                    for ind in history.final_population)
 
+    @pytest.mark.serial_evaluation
     def test_every_individual_evaluated(self, tiny_config):
         measurement = CountingMeasurement()
         history = _engine(tiny_config, measurement).run()
@@ -244,6 +248,9 @@ class _EmptyMeasurement:
     def measure(self, source_text, individual):
         return []
 
+    def measure_repeated(self, source_text, individual):
+        return self.measure(source_text, individual)
+
 
 class _RejectNopScreen:
     """Deterministic screen stub: fails any NOP-bearing individual."""
@@ -262,6 +269,7 @@ class _RejectNopScreen:
 
 
 class TestStaticScreening:
+    @pytest.mark.serial_evaluation
     def test_screen_failures_take_zero_fitness_path(self, tiny_config):
         measurement = CountingMeasurement()
         screen = _RejectNopScreen()

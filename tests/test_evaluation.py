@@ -1,0 +1,437 @@
+"""Tests for the staged evaluation layer (repro.evaluation).
+
+The acceptance property of the refactor: the same config + seed yields
+bit-identical populations and identical run histories under the serial
+backend, the process-pool backend, and with the evaluation cache on or
+off.  These tests pin that property, plus the layer's satellite
+contracts: loud protocol validation, ragged-repeat rejection, partial
+generation resume, cache persistence, and per-stage observability.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.config import EvaluationParameters, config_to_xml, \
+    parse_config_text
+from repro.core.engine import GenerationStats, GeneticEngine, \
+    WORKERS_ENV_VAR
+from repro.core.errors import ConfigError
+from repro.core.output import OutputRecorder
+from repro.core.population import load_population
+from repro.cpu import SimulatedMachine, SimulatedTarget
+from repro.evaluation import (CachedEvaluation, EvaluationCache,
+                              EvaluationPipeline, ProcessPoolBackend,
+                              SerialBackend, StageTimings, noise_key)
+from repro.fitness.default_fitness import DefaultFitness
+from repro.measurement import PowerMeasurement
+
+
+class _LdrCounter:
+    """Deterministic in-memory measurement: fitness = LDR count."""
+
+    def measure(self, source_text, individual):
+        return [float(sum(1 for i in individual.instructions
+                          if i.name == "LDR"))]
+
+    def measure_repeated(self, source_text, individual):
+        return self.measure(source_text, individual)
+
+
+class _PrefixFailing(_LdrCounter):
+    """Behaves like _LdrCounter until ``fail_from`` — then returns an
+    empty measurement list (the checkpoint-then-abort plug-in bug)."""
+
+    def __init__(self, fail_from):
+        self.fail_from = fail_from
+
+    def measure(self, source_text, individual):
+        if individual.uid >= self.fail_from:
+            return []
+        return super().measure(source_text, individual)
+
+
+def _power_measurement(seed=99):
+    machine = SimulatedMachine("cortex_a15", seed=seed, sim_cycles=600)
+    target = SimulatedTarget(machine)
+    target.connect()
+    return PowerMeasurement(target, {"samples": "2"})
+
+
+def _run(config, tmp_path=None, name="run", **engine_kwargs):
+    recorder = OutputRecorder(tmp_path / name) if tmp_path else None
+    engine = GeneticEngine(config, _power_measurement(config.ga.seed),
+                           DefaultFitness(), recorder=recorder,
+                           **engine_kwargs)
+    history = engine.run()
+    return history, recorder
+
+
+# ---------------------------------------------------------------------------
+# serial / parallel / cache equivalence (the acceptance property)
+# ---------------------------------------------------------------------------
+
+class TestBackendEquivalence:
+    def test_histories_identical(self, tiny_config):
+        serial, _ = _run(tiny_config, backend=SerialBackend())
+        pooled, _ = _run(tiny_config, backend=ProcessPoolBackend(2))
+        assert serial.generations == pooled.generations
+        assert serial.best_individual.genome_key() == \
+            pooled.best_individual.genome_key()
+        assert [i.measurements for i in serial.final_population] == \
+            [i.measurements for i in pooled.final_population]
+
+    def test_population_binaries_bit_identical(self, tiny_config,
+                                               tmp_path):
+        _, rec_serial = _run(tiny_config, tmp_path, "serial",
+                             backend=SerialBackend())
+        _, rec_pooled = _run(tiny_config, tmp_path, "pooled",
+                             backend=ProcessPoolBackend(2))
+        serial_files = rec_serial.population_files()
+        pooled_files = rec_pooled.population_files()
+        assert len(serial_files) == len(pooled_files) > 0
+        for a, b in zip(serial_files, pooled_files):
+            assert a.read_bytes() == b.read_bytes()
+
+    def test_workers_argument_selects_pool(self, tiny_config):
+        engine = GeneticEngine(tiny_config, _LdrCounter(),
+                               DefaultFitness(), workers=2)
+        assert isinstance(engine.evaluator.backend, ProcessPoolBackend)
+        assert engine.evaluator.backend.workers == 2
+        engine.evaluator.close()
+
+    @pytest.mark.serial_evaluation
+    def test_config_workers_selects_pool(self, tiny_config):
+        tiny_config.evaluation.workers = 3
+        engine = GeneticEngine(tiny_config, _LdrCounter(),
+                               DefaultFitness())
+        assert isinstance(engine.evaluator.backend, ProcessPoolBackend)
+        assert engine.evaluator.backend.workers == 3
+        engine.evaluator.close()
+
+    @pytest.mark.serial_evaluation
+    def test_environment_override(self, tiny_config, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        engine = GeneticEngine(tiny_config, _LdrCounter(),
+                               DefaultFitness())
+        assert isinstance(engine.evaluator.backend, ProcessPoolBackend)
+        engine.evaluator.close()
+        # An explicit workers argument wins over the environment.
+        engine = GeneticEngine(tiny_config, _LdrCounter(),
+                               DefaultFitness(), workers=1)
+        assert isinstance(engine.evaluator.backend, SerialBackend)
+
+    @pytest.mark.serial_evaluation
+    def test_bad_environment_value_rejected(self, tiny_config,
+                                            monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "many")
+        with pytest.raises(ConfigError, match=WORKERS_ENV_VAR):
+            GeneticEngine(tiny_config, _LdrCounter(), DefaultFitness())
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            ProcessPoolBackend(0)
+
+    def test_empty_measurement_aborts_under_pool(self, tiny_config):
+        engine = GeneticEngine(
+            tiny_config, _PrefixFailing(0), DefaultFitness(),
+            backend=ProcessPoolBackend(2))
+        with pytest.raises(ConfigError, match="empty result list"):
+            engine.run()
+
+
+class TestCacheEquivalence:
+    def test_cache_does_not_change_results(self, tiny_config):
+        plain, _ = _run(tiny_config)
+        cache = EvaluationCache("test")
+        cached, _ = _run(tiny_config, cache=cache)
+        assert plain.generations == cached.generations
+        assert plain.best_individual.genome_key() == \
+            cached.best_individual.genome_key()
+        # Elitism re-injects the best genome every generation, so a
+        # cached run must hit at least once per later generation.
+        assert cache.hits >= tiny_config.ga.generations - 1
+
+    def test_seeded_rerun_is_all_hits(self, tiny_config):
+        cache = EvaluationCache("test")
+        first, _ = _run(tiny_config, cache=cache)
+        misses_after_first = cache.misses
+        second, _ = _run(tiny_config, cache=cache)
+        assert second.generations == first.generations
+        assert cache.misses == misses_after_first  # no new pipeline work
+        assert sum(g.cache_hits for g in second.generations) == \
+            tiny_config.ga.population_size * tiny_config.ga.generations
+
+    def test_cache_with_pool_backend(self, tiny_config):
+        plain, _ = _run(tiny_config)
+        cached, _ = _run(tiny_config, cache=EvaluationCache("test"),
+                         backend=ProcessPoolBackend(2))
+        assert plain.generations == cached.generations
+
+    def test_config_cache_flag_builds_cache(self, tiny_config):
+        tiny_config.evaluation.cache = True
+        engine = GeneticEngine(tiny_config, _power_measurement(),
+                               DefaultFitness())
+        assert engine.evaluator.cache is not None
+        assert "PowerMeasurement" in engine.evaluator.cache.fingerprint
+
+    def test_fingerprint_stable_across_hash_seeds(self):
+        """A persisted cache is only useful if the fingerprint written
+        by one process matches the one computed by the next — set reprs
+        under hash randomisation silently broke that."""
+        import subprocess
+        import sys
+        script = (
+            "from repro.cpu import SimulatedMachine, SimulatedTarget\n"
+            "from repro.measurement.power import PowerMeasurement\n"
+            "m = SimulatedMachine('cortex_a15', seed=7, sim_cycles=600)\n"
+            "t = SimulatedTarget(m)\n"
+            "t.connect()\n"
+            "print(PowerMeasurement(t, {}).fingerprint())\n")
+        prints = []
+        for hash_seed in ("0", "1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            prints.append(subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True).stdout)
+        assert prints[0] == prints[1] == prints[2]
+
+
+class TestCachePersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        cache = EvaluationCache("fp")
+        cache.put("src-a", CachedEvaluation((1.0, 2.0)))
+        cache.put("src-b", CachedEvaluation((0.0,), compile_failed=True))
+        path = cache.save(tmp_path / "cache.json")
+        loaded = EvaluationCache.load(path, "fp")
+        assert len(loaded) == 2
+        assert loaded.get("src-a") == CachedEvaluation((1.0, 2.0))
+        assert loaded.get("src-b").compile_failed
+
+    def test_fingerprint_mismatch_yields_empty_cache(self, tmp_path):
+        cache = EvaluationCache("platform-a")
+        cache.put("src", CachedEvaluation((1.0,)))
+        path = cache.save(tmp_path / "cache.json")
+        loaded = EvaluationCache.load(path, "platform-b")
+        assert len(loaded) == 0
+        assert loaded.fingerprint == "platform-b"
+
+    def test_missing_and_malformed_files_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            EvaluationCache.load(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            EvaluationCache.load(bad)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"format": "something-else"}')
+        with pytest.raises(ConfigError, match="not an evaluation cache"):
+            EvaluationCache.load(wrong)
+
+
+# ---------------------------------------------------------------------------
+# protocol validation (no more duck-typed getattr fallback)
+# ---------------------------------------------------------------------------
+
+class TestProtocolValidation:
+    def test_missing_measure_repeated_fails_at_construction(
+            self, tiny_config):
+        class SingleShot:
+            def measure(self, source_text, individual):
+                return [1.0]
+
+        with pytest.raises(ConfigError, match="measure_repeated"):
+            GeneticEngine(tiny_config, SingleShot(), DefaultFitness())
+
+    def test_missing_measure_fails_at_construction(self, tiny_config):
+        class NoMeasure:
+            def measure_repeated(self, source_text, individual):
+                return [1.0]
+
+        with pytest.raises(ConfigError,
+                           match=r"implement measure\(\)"):
+            GeneticEngine(tiny_config, NoMeasure(), DefaultFitness())
+
+    def test_missing_get_fitness_fails_at_construction(self, tiny_config):
+        class NotFitness:
+            pass
+
+        with pytest.raises(ConfigError, match="get_fitness"):
+            GeneticEngine(tiny_config, _LdrCounter(), NotFitness())
+
+
+class TestRaggedRepeats:
+    def test_ragged_widths_raise_with_uid_and_widths(self, arm_individual):
+        class Ragged(PowerMeasurement):
+            widths = iter([2, 3])
+
+            def measure(self, source_text, individual):
+                return [0.0] * next(self.widths)
+
+        measurement = Ragged(
+            SimulatedTarget(SimulatedMachine("cortex_a15", seed=1,
+                                             sim_cycles=600)),
+            {"repeats": "2"})
+        arm_individual.uid = 7
+        with pytest.raises(ConfigError) as excinfo:
+            measurement.measure_repeated("src", arm_individual)
+        message = str(excinfo.value)
+        assert "ragged" in message
+        assert "uid=7" in message
+        assert "[2, 3]" in message
+        assert "Ragged" in message
+
+
+# ---------------------------------------------------------------------------
+# resume finishes a partially evaluated generation (regression)
+# ---------------------------------------------------------------------------
+
+class TestResumePartialGeneration:
+    def test_resume_finishes_partial_generation(self, tiny_config,
+                                                tmp_path):
+        checkpoint = tmp_path / "run.ckpt"
+        # Generation 1 holds uids 6..11; the plug-in dies at uid 9, so
+        # the abort checkpoint holds generation 1 with 6, 7, 8 evaluated.
+        engine = GeneticEngine(tiny_config, _PrefixFailing(9),
+                               DefaultFitness(),
+                               checkpoint_path=checkpoint)
+        with pytest.raises(ConfigError, match="empty result list"):
+            engine.run()
+        with open(checkpoint, "rb") as handle:
+            payload = pickle.load(handle)
+        partial = payload["population"]
+        assert payload["generation"] == 1
+        assert any(not ind.evaluated for ind in partial)
+        assert any(ind.evaluated for ind in partial)
+
+        recorder = OutputRecorder(tmp_path / "resumed")
+        resumed = GeneticEngine.resume(tiny_config, _LdrCounter(),
+                                       DefaultFitness(), checkpoint,
+                                       recorder=recorder)
+        history = resumed.run()
+
+        # The checkpointed generation is finished, not bred past: the
+        # first recorded generation is number 1 and holds exactly the
+        # checkpointed uids, every one of them evaluated.
+        assert history.generations[0].number == 1
+        recorded = load_population(recorder.populations_dir /
+                                   "population_1.bin")
+        assert {i.uid for i in recorded} == {i.uid for i in partial}
+        assert all(ind.evaluated for ind in recorded)
+
+        # And the finished trajectory matches an uninterrupted run with
+        # the healthy plug-in (the failing one agrees on uids < 9).
+        uninterrupted = GeneticEngine(tiny_config, _LdrCounter(),
+                                      DefaultFitness()).run()
+        assert history.generations == uninterrupted.generations[1:]
+        assert [i.genome_key() for i in history.final_population] == \
+            [i.genome_key() for i in uninterrupted.final_population]
+
+    def test_resume_completed_generation_still_breeds(self, tiny_config,
+                                                      tmp_path):
+        checkpoint = tmp_path / "run.ckpt"
+        full = GeneticEngine(tiny_config, _LdrCounter(), DefaultFitness(),
+                             checkpoint_path=checkpoint)
+        full_history = full.run(generations=2)
+        assert checkpoint.exists()
+        resumed = GeneticEngine.resume(tiny_config, _LdrCounter(),
+                                       DefaultFitness(), checkpoint)
+        history = resumed.run(generations=3)
+        assert [g.number for g in history.generations] == [2]
+        assert full_history.generations[-1].number == 1
+
+
+# ---------------------------------------------------------------------------
+# observability: stats fields, stats.jsonl, timings
+# ---------------------------------------------------------------------------
+
+class TestObservability:
+    def test_stats_equality_ignores_observability_fields(self):
+        a = GenerationStats(number=0, best_fitness=1.0, mean_fitness=0.5,
+                            best_uid=3, compile_failures=0)
+        b = GenerationStats(number=0, best_fitness=1.0, mean_fitness=0.5,
+                            best_uid=3, compile_failures=0)
+        b.cache_hits = 5
+        b.measured = 6
+        b.timings = StageTimings(render_s=1.0, measure_s=2.0)
+        assert a == b
+
+    def test_generation_counters_populated(self, tiny_config):
+        history, _ = _run(tiny_config, cache=EvaluationCache("test"))
+        first = history.generations[0]
+        assert first.measured == tiny_config.ga.population_size
+        assert first.timings.measure_s > 0.0
+        assert first.timings.render_s > 0.0
+        later_hits = sum(g.cache_hits for g in history.generations[1:])
+        assert later_hits >= tiny_config.ga.generations - 1
+
+    def test_stats_jsonl_written(self, tiny_config, tmp_path):
+        import json
+        history, recorder = _run(tiny_config, tmp_path)
+        stats_path = recorder.results_dir / "stats.jsonl"
+        lines = stats_path.read_text().splitlines()
+        assert len(lines) == tiny_config.ga.generations
+        first = json.loads(lines[0])
+        assert first["number"] == 0
+        assert first["best_fitness"] == \
+            history.generations[0].best_fitness
+        assert "measure_s" in first["timings"]
+
+    def test_stage_timings_accumulate(self):
+        total = StageTimings(render_s=1.0)
+        total.add(StageTimings(render_s=0.5, measure_s=2.0))
+        assert total.render_s == 1.5
+        assert total.measure_s == 2.0
+        assert total.total_s == 3.5
+
+
+# ---------------------------------------------------------------------------
+# noise keying and config plumbing
+# ---------------------------------------------------------------------------
+
+class TestNoiseKey:
+    def test_deterministic(self):
+        assert noise_key(5, "mov x0, #1") == noise_key(5, "mov x0, #1")
+
+    def test_sensitive_to_source_and_seed(self):
+        assert noise_key(5, "mov x0, #1") != noise_key(5, "mov x0, #2")
+        assert noise_key(5, "mov x0, #1") != noise_key(6, "mov x0, #1")
+
+    def test_pipeline_measurements_are_order_free(self, tiny_config,
+                                                  tiny_library, rng):
+        from repro.core.individual import random_individual
+        from repro.core.template import Template
+        measurement = _power_measurement()
+        pipeline = EvaluationPipeline(
+            Template(tiny_config.template_text), measurement,
+            DefaultFitness(), noise_seed=99)
+        a = random_individual(tiny_library, 8, rng, uid=0)
+        b = random_individual(tiny_library, 8, rng, uid=1)
+        forward = [pipeline.evaluate(a).measurements,
+                   pipeline.evaluate(b).measurements]
+        backward = [pipeline.evaluate(b).measurements,
+                    pipeline.evaluate(a).measurements]
+        assert forward == list(reversed(backward))
+
+
+class TestEvaluationConfig:
+    def test_defaults(self):
+        params = EvaluationParameters()
+        assert params.workers == 1
+        assert params.cache is False
+
+    def test_parse_and_round_trip(self, tiny_config, tmp_path):
+        (tmp_path / "t.s").write_text(tiny_config.template_text)
+        tiny_config.evaluation = EvaluationParameters(workers=4,
+                                                      cache=True)
+        xml = config_to_xml(tiny_config, template_filename="t.s")
+        assert 'workers="4"' in xml
+        parsed = parse_config_text(xml, base_dir=tmp_path)
+        assert parsed.evaluation.workers == 4
+        assert parsed.evaluation.cache is True
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            EvaluationParameters(workers=0).validate()

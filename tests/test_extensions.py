@@ -255,6 +255,9 @@ class _LdrCounter:
         return [float(sum(1 for i in individual.instructions
                           if i.name == "LDR"))]
 
+    def measure_repeated(self, source_text, individual):
+        return self.measure(source_text, individual)
+
 
 class TestCheckpointResume:
     def test_resume_reproduces_uninterrupted_run(self, tiny_library,

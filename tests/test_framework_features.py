@@ -85,6 +85,7 @@ class TestMeasurementRepeats:
         with pytest.raises(MeasurementError):
             PowerMeasurement(_os_target(), {"aggregate": "mode"})
 
+    @pytest.mark.serial_evaluation
     def test_engine_uses_repeated_path(self, tiny_template):
         operands = [RegisterOperand("r", ["x1", "x2"])]
         specs = [InstructionSpec("ADD", ["r", "r", "r"],

@@ -18,6 +18,9 @@ class _LdrCounter:
         return [float(sum(1 for i in individual.instructions
                           if i.name == "LDR"))]
 
+    def measure_repeated(self, source_text, individual):
+        return self.measure(source_text, individual)
+
 
 @pytest.fixture
 def recorded_run(tiny_config, tmp_path):

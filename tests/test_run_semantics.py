@@ -15,6 +15,9 @@ class _LdrCounter:
         return [float(sum(1 for i in individual.instructions
                           if i.name == "LDR"))]
 
+    def measure_repeated(self, source_text, individual):
+        return self.measure(source_text, individual)
+
 
 def _config(tiny_library, tiny_template, generations=6, seed=55):
     ga = GAParameters(population_size=6, individual_size=8,
