@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Cross-check the evaluation layer's determinism contract end-to-end.
 
-Runs the shipped arm_power configuration (at a reduced scale) three
-times — SerialBackend, ProcessPoolBackend(2), and SerialBackend with
-the evaluation cache — and verifies all three produce identical run
-histories and bit-identical population binaries.  Exits non-zero on
+Runs the shipped arm_power configuration (at a reduced scale) four
+times — SerialBackend, ProcessPoolBackend(2), SerialBackend with the
+evaluation cache, and SerialBackend with steady-state kernel detection
+disabled (full cycle-by-cycle simulation) — and verifies all four
+produce identical run histories and bit-identical population binaries.
+The last variant is the tiling contract end-to-end: stopping at a
+recurring scheduler state and analytically tiling the detected period
+must be observationally invisible to the whole GA.  Exits non-zero on
 any mismatch; CI runs this after the parallel test leg.
 
 Usage: PYTHONPATH=src python scripts/check_parallel_determinism.py
@@ -28,12 +32,14 @@ CONFIG = Path(__file__).resolve().parent.parent / "configs" / "arm_power" \
 GENERATIONS = 4
 
 
-def run_variant(workdir: Path, name: str, backend, cache):
+def run_variant(workdir: Path, name: str, backend, cache,
+                steady_state_detection: bool = True):
     config = parse_config_file(CONFIG)
     config.ga.generations = GENERATIONS
     config.ga.population_size = 10
     machine = SimulatedMachine("cortex_a15", seed=config.ga.seed or 0,
-                               sim_cycles=600)
+                               sim_cycles=600,
+                               steady_state_detection=steady_state_detection)
     target = SimulatedTarget(machine)
     target.connect()
     measurement = instantiate(config.measurement_class, Measurement,
@@ -51,22 +57,26 @@ def main() -> int:
     with tempfile.TemporaryDirectory() as raw:
         workdir = Path(raw)
         variants = [
-            ("serial", lambda: (SerialBackend(), None)),
-            ("parallel", lambda: (ProcessPoolBackend(2), None)),
+            ("serial", lambda: (SerialBackend(), None), True),
+            ("parallel", lambda: (ProcessPoolBackend(2), None), True),
             ("cached", lambda: (SerialBackend(),
-                                EvaluationCache("cross-check"))),
+                                EvaluationCache("cross-check")), True),
+            # Full cycle-by-cycle simulation: the steady-state tiling
+            # contract says this must be bit-identical to the default.
+            ("untiled", lambda: (SerialBackend(), None), False),
         ]
         histories = {}
         recorders = {}
-        for name, build in variants:
+        for name, build, detection in variants:
             backend, cache = build()
             print(f"running {name} variant "
                   f"({GENERATIONS} generations)...", flush=True)
             histories[name], recorders[name] = run_variant(
-                workdir, name, backend, cache)
+                workdir, name, backend, cache,
+                steady_state_detection=detection)
 
         reference = histories["serial"]
-        for name in ("parallel", "cached"):
+        for name in ("parallel", "cached", "untiled"):
             if histories[name].generations != reference.generations:
                 print(f"FAIL: {name} run history differs from serial")
                 for serial_g, other_g in zip(reference.generations,

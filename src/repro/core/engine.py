@@ -77,6 +77,11 @@ class GenerationStats:
     measured: int = field(default=0, compare=False)
     #: Individuals that entered the screen stage this pass.
     screened: int = field(default=0, compare=False)
+    #: Target-machine compile-cache traffic for this pass (mutation and
+    #: crossover re-render many identical sources, so assembly repeats;
+    #: the machine caches Program objects content-addressed on source).
+    compile_cache_hits: int = field(default=0, compare=False)
+    compile_cache_misses: int = field(default=0, compare=False)
     #: Cumulative per-stage evaluation seconds for this generation.
     timings: StageTimings = field(default_factory=StageTimings,
                                   compare=False)
@@ -436,6 +441,8 @@ class GeneticEngine:
             stats.cache_hits = outcome.cache_hits
             stats.measured = outcome.measured
             stats.screened = outcome.screened
+            stats.compile_cache_hits = outcome.compile_cache_hits
+            stats.compile_cache_misses = outcome.compile_cache_misses
             stats.timings = outcome.timings
         history.generations.append(stats)
         if self.recorder is not None:

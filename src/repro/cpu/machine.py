@@ -21,9 +21,10 @@ environments measure noisily).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from random import Random
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -114,7 +115,8 @@ class SimulatedMachine:
                  supply_v: Optional[float] = None,
                  sim_cycles: int = 1600,
                  hierarchy: Optional[MemoryHierarchy] = None,
-                 nominal_frequency_hz: Optional[float] = None) -> None:
+                 nominal_frequency_hz: Optional[float] = None,
+                 steady_state_detection: bool = True) -> None:
         if isinstance(arch, str):
             arch = microarch_for(arch)
         arch.validate()
@@ -137,16 +139,50 @@ class SimulatedMachine:
             if nominal_frequency_hz is not None else arch.frequency_hz
         self.hierarchy = hierarchy
         self.assembler = assembler_for(arch.isa)
-        self.pipeline = PipelineSimulator(arch)
+        #: Whether the pipeline may stop at a recurring scheduler state
+        #: and tile the detected period (observably identical; see
+        #: :mod:`repro.cpu.pipeline`).  Exposed for A/B validation.
+        self.steady_state_detection = steady_state_detection
+        self.pipeline = PipelineSimulator(
+            arch, detect_steady_state=steady_state_detection)
         self.power = PowerModel(arch)
         self.thermal = ThermalModel(arch.thermal)
         self.pdn = PDNModel(arch.pdn, arch.frequency_hz)
+        self._compile_cache: "OrderedDict[Tuple[str, str], Program]" = \
+            OrderedDict()
+        #: Content-addressed compile-cache counters: GA populations
+        #: re-render many identical sources (elites, converged genes),
+        #: so assembly work repeats.  Surfaced per generation in
+        #: :class:`repro.core.engine.GenerationStats`.
+        self.compile_cache_hits = 0
+        self.compile_cache_misses = 0
+
+    #: Entries kept in the compile cache; enough for several
+    #: generations of distinct sources at paper-scale populations.
+    COMPILE_CACHE_CAP = 512
 
     # -- toolchain -----------------------------------------------------------
 
     def compile(self, source: str, name: str = "stress.s") -> Program:
-        """Assemble source text; raises AssemblyError on bad code."""
-        return self.assembler.assemble(source, name=name)
+        """Assemble source text; raises AssemblyError on bad code.
+
+        Results are cached content-addressed on ``(name, source)`` —
+        assembly is pure, and :class:`~repro.isa.model.Program` is
+        treated as immutable by every consumer — with LRU eviction at
+        :data:`COMPILE_CACHE_CAP` entries.  Failures are not cached.
+        """
+        key = (name, source)
+        cached = self._compile_cache.get(key)
+        if cached is not None:
+            self._compile_cache.move_to_end(key)
+            self.compile_cache_hits += 1
+            return cached
+        program = self.assembler.assemble(source, name=name)
+        self.compile_cache_misses += 1
+        self._compile_cache[key] = program
+        if len(self._compile_cache) > self.COMPILE_CACHE_CAP:
+            self._compile_cache.popitem(last=False)
+        return program
 
     # -- noise stream control ------------------------------------------------
 
@@ -247,7 +283,10 @@ class SimulatedMachine:
         mean_current = float(np.mean(current))
         total_current = (mean_current * cores
                          + (current - mean_current) * np.sqrt(cores))
-        voltage = self.pdn.simulate(total_current, supply)
+        voltage = self.pdn.simulate(
+            total_current, supply,
+            period=trace.period_cycles or None,
+            prefix=trace.prefix_cycles)
         crashed = voltage.v_min < self.critical_voltage_v()
 
         return RunResult(
@@ -339,6 +378,7 @@ class SimulatedMachine:
             sim_cycles=self.sim_cycles,
             hierarchy=self.hierarchy,
             nominal_frequency_hz=self.nominal_frequency_hz,
+            steady_state_detection=self.steady_state_detection,
         )
 
     # -- internals ---------------------------------------------------------------

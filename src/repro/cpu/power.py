@@ -121,18 +121,28 @@ class PowerModel:
 
     def energy_trace_pj(self, program: Program,
                         trace: ExecutionTrace) -> np.ndarray:
-        """Dynamic energy per cycle (pJ) over the executed window."""
+        """Dynamic energy per cycle (pJ) over the executed window.
+
+        Vectorised over the trace's compact form: energy is computed
+        for the simulated cycles only and tiled out to ``trace.cycles``
+        with :meth:`ExecutionTrace.expand`.  The accumulation order per
+        cycle (base, then window occupancy, then each issued slot in
+        issue order) matches the historical per-cycle Python loop
+        exactly, so the floating-point result is bit-identical.
+        """
         slot_energy = self.slot_energies_pj(program)
         arch = self.arch
-        per_cycle = np.empty(trace.cycles)
-        for cycle, issued in enumerate(trace.issued_per_cycle):
-            energy = arch.base_cycle_pj
-            energy += arch.window_slot_pj * trace.occupancy[cycle]
-            for slot_index in issued:
-                energy += slot_energy[slot_index]
-            per_cycle[cycle] = energy
+        per_sim = arch.base_cycle_pj + arch.window_slot_pj \
+            * trace.occupancy_counts.astype(np.float64)
+        counts = np.diff(trace.issue_offsets)
+        starts = trace.issue_offsets[:-1]
+        issue_energy = slot_energy[trace.issue_slots]
+        for position in range(int(counts.max()) if len(counts) else 0):
+            mask = counts > position
+            per_sim[mask] += issue_energy[starts[mask] + position]
+        per_cycle = trace.expand(per_sim)
         if trace.extra_energy_per_cycle is not None:
-            per_cycle += np.asarray(trace.extra_energy_per_cycle)
+            per_cycle = per_cycle + np.asarray(trace.extra_energy_per_cycle)
         return per_cycle
 
     def current_trace_a(self, program: Program, trace: ExecutionTrace,

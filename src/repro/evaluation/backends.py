@@ -106,6 +106,24 @@ def _run_job(job: Job) -> ResultOrError:
         return exc
 
 
+def _run_chunk(chunk: Sequence[Job]) -> List[ResultOrError]:
+    """Evaluate a contiguous slice of the generation in one worker.
+
+    One pickled round trip carries the whole slice's jobs out and its
+    results back — per-individual dispatch costs one IPC exchange per
+    *individual*, which at simulator evaluation rates dominates the
+    work itself and made the pool slower than serial.  Stops at the
+    first in-band failure, mirroring SerialBackend within the slice.
+    """
+    results: List[ResultOrError] = []
+    for job in chunk:
+        item = _run_job(job)
+        results.append(item)
+        if isinstance(item, EmptyMeasurementError):
+            break
+    return results
+
+
 class ProcessPoolBackend(ExecutorBackend):
     """Fan a generation's unevaluated individuals over worker processes.
 
@@ -133,13 +151,30 @@ class ProcessPoolBackend(ExecutorBackend):
         if not jobs:
             return []
         pool = self._ensure_pool(pipeline)
-        chunk = max(1, len(jobs) // (self.workers * 4))
+        # One contiguous slice per worker: a single IPC round trip per
+        # slice instead of one per individual.  map() preserves
+        # submission order, and flattening then truncating at the first
+        # in-band error reproduces SerialBackend's stop point exactly
+        # (later slices may have run, as with any parallel dispatch,
+        # but their results are discarded).
+        n = len(jobs)
+        worker_count = min(self.workers, n)
+        base, extra = divmod(n, worker_count)
+        chunks: List[List[Job]] = []
+        start = 0
+        for index in range(worker_count):
+            size = base + (1 if index < extra else 0)
+            chunks.append(list(jobs[start:start + size]))
+            start += size
         results: List[ResultOrError] = []
-        # imap preserves submission order, so the truncation point on a
-        # plug-in failure is identical to SerialBackend's stop point.
-        for item in pool.imap(_run_job, list(jobs), chunksize=chunk):
-            results.append(item)
-            if isinstance(item, EmptyMeasurementError):
+        for chunk_results in pool.map(_run_chunk, chunks, chunksize=1):
+            stop = False
+            for item in chunk_results:
+                results.append(item)
+                if isinstance(item, EmptyMeasurementError):
+                    stop = True
+                    break
+            if stop:
                 break
         return results
 

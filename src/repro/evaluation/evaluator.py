@@ -41,6 +41,10 @@ class GenerationOutcome:
     cache_hits: int = 0
     measured: int = 0
     screened: int = 0
+    #: Target-machine compile-cache traffic summed over the fresh
+    #: (non-evaluation-cache-hit) results of this pass.
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
 
 
 class StagedEvaluator:
@@ -78,6 +82,8 @@ class StagedEvaluator:
                 break
             outcome.results.append(item)
             outcome.timings.add(item.timings)
+            outcome.compile_cache_hits += item.compile_cache_hits
+            outcome.compile_cache_misses += item.compile_cache_misses
             if self.cache is not None:
                 self.cache.put(item.source, CachedEvaluation(
                     measurements=tuple(item.measurements),

@@ -146,6 +146,12 @@ class EvaluationResult:
     screen_failed: bool = False
     cache_hit: bool = False
     timings: StageTimings = field(default_factory=StageTimings)
+    #: Target-machine compile-cache traffic attributable to this
+    #: evaluation (deltas around the measure stage).  Carried on the
+    #: result because pool workers compile in *replica* machines whose
+    #: counters the driver never sees.
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
 
 
 class EmptyMeasurementError(ConfigError):
@@ -222,6 +228,12 @@ class EvaluationPipeline:
         self._reseed = getattr(measurement, "reseed_noise", None)
         if self._reseed is not None and not callable(self._reseed):
             self._reseed = None
+        # Duck-typed handle to the simulated machine, for compile-cache
+        # accounting; None for measurements without a simulated target.
+        self._machine = getattr(
+            getattr(measurement, "target", None), "machine", None)
+        if not hasattr(self._machine, "compile_cache_hits"):
+            self._machine = None
 
     # -- stages -------------------------------------------------------------
 
@@ -267,6 +279,16 @@ class EvaluationPipeline:
                     screen_failed=True, timings=timings)
 
         began = perf_counter()  # staticcheck: disable=SC404
+        machine = self._machine
+        hits_before = machine.compile_cache_hits if machine else 0
+        misses_before = machine.compile_cache_misses if machine else 0
+
+        def compile_deltas():
+            if machine is None:
+                return 0, 0
+            return (machine.compile_cache_hits - hits_before,
+                    machine.compile_cache_misses - misses_before)
+
         if self._reseed is not None:
             self._reseed(noise_key(self.noise_seed, source))
         try:
@@ -274,10 +296,12 @@ class EvaluationPipeline:
                                                              individual)
         except AssemblyError:
             timings.measure_s += perf_counter() - began  # staticcheck: disable=SC404
+            hits, misses = compile_deltas()
             return EvaluationResult(
                 uid=individual.uid, source=source,
                 measurements=[0.0], fitness=0.0,
-                compile_failed=True, timings=timings)
+                compile_failed=True, timings=timings,
+                compile_cache_hits=hits, compile_cache_misses=misses)
         timings.measure_s += perf_counter() - began  # staticcheck: disable=SC404
 
         if not measurements:
@@ -290,7 +314,9 @@ class EvaluationPipeline:
         began = perf_counter()  # staticcheck: disable=SC404
         value = self.score(measurements, individual)
         timings.score_s += perf_counter() - began  # staticcheck: disable=SC404
+        hits, misses = compile_deltas()
         return EvaluationResult(
             uid=individual.uid, source=source,
             measurements=list(measurements), fitness=value,
-            timings=timings)
+            timings=timings,
+            compile_cache_hits=hits, compile_cache_misses=misses)

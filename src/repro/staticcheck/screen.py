@@ -51,6 +51,12 @@ class ScreenReport:
     assembly_failed: bool
     diagnostics: List[Diagnostic] = field(default_factory=list)
     profile: Optional[StaticProfile] = None
+    #: Steady-state kernel of the loop, when the screen was built with
+    #: a period probe and the program assembled: warm-up cycles before
+    #: the kernel and the kernel length in cycles.  None when probing
+    #: is off, assembly failed, or no recurrence was found.
+    detected_prefix: Optional[int] = None
+    detected_period: Optional[int] = None
 
 
 @dataclass
@@ -80,16 +86,31 @@ class StaticScreen:
     l1_bytes / l2_bytes:
         Cache geometry for the footprint bound; None disables the
         corresponding check.
+    period_probe:
+        Optional object with a ``detect_period(program, max_cycles)``
+        method (duck-typed to
+        :meth:`repro.cpu.pipeline.PipelineSimulator.detect_period`).
+        When given, programs that pass the static checks are also
+        probed for their steady-state kernel — cheap, because the probe
+        stops at the first scheduler-state recurrence — and the result
+        is reported on :class:`ScreenReport` for analysis tooling.
+    probe_cycles:
+        Cycle budget handed to the probe (default 1600, the stock
+        ``sim_cycles``).
     """
 
     def __init__(self, assembler: BaseAssembler,
                  fail_severity: Severity = Severity.ERROR,
                  l1_bytes: Optional[int] = None,
-                 l2_bytes: Optional[int] = None) -> None:
+                 l2_bytes: Optional[int] = None,
+                 period_probe=None,
+                 probe_cycles: int = 1600) -> None:
         self.assembler = assembler
         self.fail_severity = fail_severity
         self.l1_bytes = l1_bytes
         self.l2_bytes = l2_bytes
+        self.period_probe = period_probe
+        self.probe_cycles = probe_cycles
         self.stats = ScreenStats()
 
     def screen(self, source_text: str, individual=None) -> ScreenReport:
@@ -117,6 +138,14 @@ class StaticScreen:
                                 diagnostics=report.diagnostics,
                                 profile=report.profile)
         self.stats.passed += 1
+        prefix = period = None
+        if self.period_probe is not None:
+            kernel = self.period_probe.detect_period(
+                program, max_cycles=self.probe_cycles)
+            if kernel is not None:
+                prefix, period = kernel
         return ScreenReport(passed=True, assembly_failed=False,
                             diagnostics=report.diagnostics,
-                            profile=report.profile)
+                            profile=report.profile,
+                            detected_prefix=prefix,
+                            detected_period=period)
