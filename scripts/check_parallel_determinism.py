@@ -11,9 +11,16 @@ recurring scheduler state and analytically tiling the detected period
 must be observationally invisible to the whole GA.  Exits non-zero on
 any mismatch; CI runs this after the parallel test leg.
 
-Usage: PYTHONPATH=src python scripts/check_parallel_determinism.py
+``--strategy`` runs the cross-check under any registered search
+strategy (default ``genetic``) — the determinism contract is
+backend-independent for every strategy, not just the GA, and CI's
+strategy matrix exercises each one.
+
+Usage: PYTHONPATH=src python scripts/check_parallel_determinism.py \
+           [--strategy NAME]
 """
 
+import argparse
 import sys
 import tempfile
 from pathlib import Path
@@ -26,6 +33,7 @@ from repro.cpu import SimulatedMachine, SimulatedTarget
 from repro.evaluation import (EvaluationCache, ProcessPoolBackend,
                               SerialBackend)
 from repro.measurement.base import Measurement
+from repro.search import STRATEGIES
 
 CONFIG = Path(__file__).resolve().parent.parent / "configs" / "arm_power" \
     / "config.xml"
@@ -33,7 +41,8 @@ GENERATIONS = 4
 
 
 def run_variant(workdir: Path, name: str, backend, cache,
-                steady_state_detection: bool = True):
+                steady_state_detection: bool = True,
+                strategy: str = "genetic"):
     config = parse_config_file(CONFIG)
     config.ga.generations = GENERATIONS
     config.ga.population_size = 10
@@ -47,12 +56,20 @@ def run_variant(workdir: Path, name: str, backend, cache,
     fitness = load_class(config.fitness_class)()
     recorder = OutputRecorder(workdir / name)
     engine = GeneticEngine(config, measurement, fitness,
-                           recorder=recorder, backend=backend, cache=cache)
+                           recorder=recorder, backend=backend, cache=cache,
+                           strategy=strategy)
     history = engine.run()
     return history, recorder
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="evaluation-layer determinism cross-check")
+    parser.add_argument("--strategy", default="genetic",
+                        choices=STRATEGIES.names(),
+                        help="search strategy to run the cross-check "
+                             "under (default: genetic)")
+    args = parser.parse_args()
     failures = 0
     with tempfile.TemporaryDirectory() as raw:
         workdir = Path(raw)
@@ -69,11 +86,12 @@ def main() -> int:
         recorders = {}
         for name, build, detection in variants:
             backend, cache = build()
-            print(f"running {name} variant "
-                  f"({GENERATIONS} generations)...", flush=True)
+            print(f"running {name} variant ({GENERATIONS} generations, "
+                  f"{args.strategy} strategy)...", flush=True)
             histories[name], recorders[name] = run_variant(
                 workdir, name, backend, cache,
-                steady_state_detection=detection)
+                steady_state_detection=detection,
+                strategy=args.strategy)
 
         reference = histories["serial"]
         for name in ("parallel", "cached", "untiled"):

@@ -5,6 +5,7 @@ reproduction mirrors that::
 
     gest run config.xml [--generations N] [--platform NAME] [--no-screen]
                         [--workers N] [--cache | --no-cache]
+                        [--strategy NAME]
     gest measure source.s --platform NAME [--cores N]
     gest lint config.xml [--json]
     gest check source.s [--platform NAME] [--json]
@@ -44,6 +45,7 @@ from .cpu.target import SimulatedTarget
 from .evaluation import EvaluationCache, StageTimings
 from .fitness.default_fitness import DefaultFitness
 from .measurement.base import Measurement
+from .search import STRATEGIES
 from .staticcheck import (StaticScreen, analyze_program,
                           diagnostics_to_json, format_diagnostics,
                           has_errors, lint_config, lint_config_file,
@@ -79,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="evaluation worker processes (default: the "
                           "config's <evaluation workers=...>, or 1); "
                           "each worker replicates the simulated board")
+    run.add_argument("--strategy", default=None,
+                     choices=STRATEGIES.names(),
+                     help="search strategy proposing populations "
+                          "(default: the config's <search strategy=...>"
+                          ", or genetic — the paper's GA)")
     cache_group = run.add_mutually_exclusive_group()
     cache_group.add_argument(
         "--cache", dest="cache", action="store_true", default=None,
@@ -173,13 +180,15 @@ def _command_run(args: argparse.Namespace) -> int:
             cache = EvaluationCache(fingerprint)
 
     engine = GeneticEngine(config, measurement, fitness, recorder=recorder,
-                           screen=screen, cache=cache, workers=args.workers)
+                           screen=screen, cache=cache, workers=args.workers,
+                           strategy=args.strategy)
     history = engine.run(args.generations)
     if cache is not None and cache_path is not None:
         cache.save(cache_path)
 
     best = history.best_individual
     if not args.quiet:
+        print(f"search strategy: {engine.strategy.name}")
         for stats in history.generations:
             screened = (f"  screened {stats.screen_failures:2d}"
                         if stats.screen_failures else "")

@@ -9,8 +9,8 @@ Public surface re-exported here:
 """
 
 from .config import (EvaluationParameters, GAParameters, RunConfig,
-                     config_to_xml, parse_config_file, parse_config_text,
-                     parse_measurement_config)
+                     SearchParameters, config_to_xml, parse_config_file,
+                     parse_config_text, parse_measurement_config)
 from .engine import GenerationStats, GeneticEngine, RunHistory
 from .errors import (AssemblyError, ConfigError, GestError, LoaderError,
                      MeasurementError, SimulationError, TargetError,
@@ -27,7 +27,8 @@ from .rng import make_rng, spawn
 from .template import LOOP_MARKER, Template
 
 __all__ = [
-    "EvaluationParameters", "GAParameters", "RunConfig", "config_to_xml",
+    "EvaluationParameters", "GAParameters", "RunConfig", "SearchParameters",
+    "config_to_xml",
     "parse_config_file", "parse_config_text", "parse_measurement_config",
     "GenerationStats", "GeneticEngine", "RunHistory",
     "AssemblyError", "ConfigError", "GestError", "LoaderError",

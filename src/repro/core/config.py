@@ -22,6 +22,7 @@ Example document::
       <measurement class="repro.measurement.power.PowerMeasurement"
                    config="measurement.xml"/>
       <fitness class="repro.fitness.default_fitness.DefaultFitness"/>
+      <search strategy="genetic"/>
       <seed_population file="results/run0/population_20.bin"/>
       <operands>
         <operand id="mem_address_register" type="register" values="x10"/>
@@ -52,6 +53,7 @@ from .operand import ImmediateOperand, LabelOperand, Operand, RegisterOperand
 __all__ = [
     "GAParameters",
     "EvaluationParameters",
+    "SearchParameters",
     "RunConfig",
     "parse_config_file",
     "parse_config_text",
@@ -88,13 +90,20 @@ class GAParameters:
             raise ConfigError("individual_size must be >= 1")
         if not 0.0 <= self.mutation_rate <= 1.0:
             raise ConfigError("mutation_rate must be within [0, 1]")
-        if self.crossover_operator not in ("one_point", "uniform"):
+        # Operator names are validated against the search-layer
+        # registries — the single source of truth shared with the
+        # config lint and the strategies themselves.  Imported lazily:
+        # repro.search imports core submodules, so a module-level
+        # import here would be circular.
+        from ..search.operators import (CROSSOVER_OPERATORS,
+                                        SELECTION_OPERATORS)
+        if self.crossover_operator not in CROSSOVER_OPERATORS:
             raise ConfigError(
-                f"unknown crossover_operator {self.crossover_operator!r}")
-        if self.parent_selection_method != "tournament":
-            raise ConfigError(
-                f"unknown parent_selection_method "
-                f"{self.parent_selection_method!r}")
+                CROSSOVER_OPERATORS.unknown_message(self.crossover_operator),
+                diagnostic_code="SC209")
+        if self.parent_selection_method not in SELECTION_OPERATORS:
+            raise ConfigError(SELECTION_OPERATORS.unknown_message(
+                self.parent_selection_method), diagnostic_code="SC209")
         if self.tournament_size < 1:
             raise ConfigError("tournament_size must be >= 1")
         if self.generations < 1:
@@ -131,6 +140,29 @@ class EvaluationParameters:
 
 
 @dataclass
+class SearchParameters:
+    """Which search strategy proposes populations (:mod:`repro.search`).
+
+    ``strategy`` names a registered :class:`~repro.search.SearchStrategy`
+    (``genetic`` — the paper's GA and the default — ``random``,
+    ``hill_climb``, ``simulated_annealing``); ``params`` carries the
+    strategy's own tunables from the ``<search>`` block's remaining
+    attributes (e.g. ``initial_temperature`` for the annealer).  Values
+    stay as strings here — the strategy's declared parsers normalise
+    them, so validation instantiates the strategy once and lets it
+    reject unknown names or bad values with the full choice list.
+    """
+
+    strategy: str = "genetic"
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        # Lazy import: repro.search imports core submodules.
+        from ..search import make_strategy
+        make_strategy(self.strategy, self.params)
+
+
+@dataclass
 class RunConfig:
     """Everything one GA run needs.
 
@@ -150,10 +182,12 @@ class RunConfig:
     seed_population_file: Optional[Path] = None
     evaluation: EvaluationParameters = field(
         default_factory=EvaluationParameters)
+    search: SearchParameters = field(default_factory=SearchParameters)
 
     def validate(self) -> None:
         self.ga.validate()
         self.evaluation.validate()
+        self.search.validate()
         if not self.template_text:
             raise ConfigError("run config has no template source")
 
@@ -285,9 +319,24 @@ def parse_config_text(text: str,
         results_dir=results_dir,
         seed_population_file=seed_population_file,
         evaluation=_parse_evaluation(root.find("evaluation")),
+        search=_parse_search(root.find("search")),
     )
     config.validate()
     return config
+
+
+def _parse_search(element: Optional[ET.Element]) -> SearchParameters:
+    """``<search strategy="..." param="value" .../>`` — every attribute
+    other than ``strategy`` is passed to the strategy as a parameter."""
+    search = SearchParameters()
+    if element is None:
+        return search
+    attrs = dict(element.attrib)
+    if "strategy" in attrs:
+        search.strategy = attrs.pop("strategy")
+    search.params = attrs
+    search.validate()
+    return search
 
 
 def _parse_evaluation(
@@ -409,6 +458,11 @@ def config_to_xml(config: RunConfig, template_filename: str = "template.s",
     ET.SubElement(root, "evaluation", {
         "workers": str(config.evaluation.workers),
         "cache": "true" if config.evaluation.cache else "false",
+    })
+    ET.SubElement(root, "search", {
+        "strategy": config.search.strategy,
+        **{key: str(value)
+           for key, value in config.search.params.items()},
     })
 
     operands_el = ET.SubElement(root, "operands")

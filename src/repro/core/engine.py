@@ -1,15 +1,25 @@
-"""The GA engine (paper Section III.A, Figure 2).
+"""The search engine (paper Section III.A, Figure 2).
 
-The engine coordinates the GA flow: seed population → evaluate → create
-next generation (selection, crossover, mutation, elitism) → repeat.
-Evaluation itself — render, screen, measure, score — lives in the
-staged :mod:`repro.evaluation` layer, which the engine drives through a
+The engine is a thin orchestrator over two pluggable layers.  A
+:class:`~repro.search.SearchStrategy` proposes populations — the
+default ``genetic`` strategy is the paper's GA (selection, crossover,
+mutation, elitism), with ``random`` / ``hill_climb`` /
+``simulated_annealing`` available for the paper's baseline comparisons.
+Evaluation — render, screen, measure, score — lives in the staged
+:mod:`repro.evaluation` layer, which the engine drives through a
 :class:`~repro.evaluation.evaluator.StagedEvaluator`: a pluggable
 executor backend (serial, or a process pool replicating the simulated
 board per worker — the paper measures on multiple boards the same way)
 plus an optional content-addressed evaluation cache.  Results merge
-back in deterministic uid order, so every backend/cache combination
-yields bit-identical populations, checkpoints and run histories.
+back in deterministic uid order, so every backend/cache/strategy
+combination yields bit-identical populations, checkpoints and run
+histories for the same strategy and seed.
+
+The loop per generation: evaluate → ``strategy.observe`` (internal
+state updates, e.g. the annealer's accept/reject walk) → record +
+checkpoint → ``strategy.next_population``.  Checkpoints carry the
+strategy's name and serialized state, so a resumed run continues the
+same search from exactly where it stopped.
 
 Compile failures are tolerated: an individual whose generated source
 does not assemble receives fitness 0 and stays in the records, it just
@@ -32,12 +42,12 @@ from ..evaluation.evaluator import GenerationOutcome, StagedEvaluator
 from ..evaluation.pipeline import (EvaluationPipeline, FitnessProtocol,
                                    MeasurementProtocol, ScreenProtocol,
                                    ScreenReportProtocol, StageTimings)
+from ..search import SearchStrategy, make_strategy
 from .config import RunConfig
 from .errors import ConfigError
-from .individual import Individual, random_individual
-from .operators import CROSSOVER_OPERATORS, mutate, tournament_select
+from .individual import Individual
 from .output import OutputRecorder
-from .population import Population, load_population
+from .population import Population
 from .rng import make_rng
 from .template import Template
 
@@ -71,6 +81,9 @@ class GenerationStats:
     #: are also counted in ``compile_failures``).
     screen_failures: int = 0
     best_measurements: List[float] = field(default_factory=list)
+    #: Which search strategy proposed this generation; lets analysis
+    #: scripts tell GA and baseline runs apart in stats.jsonl.
+    strategy: str = "genetic"
     #: Individuals satisfied from the evaluation cache this pass.
     cache_hits: int = field(default=0, compare=False)
     #: Individuals that entered the measure stage this pass.
@@ -159,6 +172,13 @@ class GeneticEngine:
         Worker-count shortcut when no explicit backend is given; wins
         over the ``GEST_EVAL_WORKERS`` environment variable, which in
         turn wins over ``config.evaluation.workers``.
+    strategy:
+        Which search proposes populations: a registered strategy name,
+        a ready :class:`~repro.search.SearchStrategy` instance, or
+        ``None`` for the config's ``<search>`` block (default
+        ``genetic`` — the paper's GA).  A name matching the config's
+        strategy picks up the config's strategy parameters; a different
+        name runs with that strategy's defaults.
     """
 
     def __init__(self, config: RunConfig,
@@ -170,7 +190,8 @@ class GeneticEngine:
                  screen: Optional[ScreenProtocol] = None,
                  backend: Optional[ExecutorBackend] = None,
                  cache: Optional[EvaluationCache] = None,
-                 workers: Optional[int] = None
+                 workers: Optional[int] = None,
+                 strategy: Optional[Union[str, SearchStrategy]] = None
                  ) -> None:
         config.validate()
         self.config = config
@@ -180,13 +201,22 @@ class GeneticEngine:
         self.rng = rng if rng is not None else make_rng(config.ga.seed)
         self.screen = screen
         self.template = Template(config.template_text)
-        self._crossover = CROSSOVER_OPERATORS[config.ga.crossover_operator]
         self._next_uid = 0
         self._best: Optional[Individual] = None
         self.checkpoint_path = Path(checkpoint_path) \
             if checkpoint_path is not None else None
         self._resume_state: Optional[dict] = None
         self._last_outcome: Optional[GenerationOutcome] = None
+
+        if strategy is None:
+            strategy = config.search.strategy
+        if isinstance(strategy, SearchStrategy):
+            self.strategy = strategy
+        else:
+            params = config.search.params \
+                if strategy == config.search.strategy else None
+            self.strategy = make_strategy(strategy, params)
+        self.strategy.bind(config, self.rng, self._take_uid)
 
         pipeline = EvaluationPipeline(
             template=self.template, measurement=measurement,
@@ -216,7 +246,8 @@ class GeneticEngine:
     # -- public API ---------------------------------------------------------
 
     def run(self, generations: Optional[int] = None) -> RunHistory:
-        """Execute the GA for ``generations`` (default: config value)."""
+        """Execute the search for ``generations`` (default: config
+        value)."""
         total = generations if generations is not None \
             else self.config.ga.generations
         if total < 1:
@@ -248,9 +279,9 @@ class GeneticEngine:
                         f"checkpoint already covers generation "
                         f"{state['generation']} of a {total}-generation "
                         "run")
-                population = self._breed(population, start)
+                population = self.strategy.next_population(population, start)
         else:
-            population = self._seed_population()
+            population = self.strategy.initial_population()
             start = 0
         try:
             for number in range(start, total):
@@ -258,9 +289,11 @@ class GeneticEngine:
                 for individual in population:
                     individual.generation = number
                 self._evaluate_population(population)
+                self.strategy.observe(population)
                 self._record_generation(population, history)
                 if number < total - 1:
-                    population = self._breed(population, number + 1)
+                    population = self.strategy.next_population(
+                        population, number + 1)
         finally:
             self.evaluator.close()
 
@@ -272,26 +305,7 @@ class GeneticEngine:
         """Instantiate the template with an individual's loop body."""
         return self.evaluator.pipeline.render(individual)
 
-    # -- GA steps -------------------------------------------------------------
-
-    def _seed_population(self) -> Population:
-        """Random initial population, or one loaded from a previous run
-        (paper III.D: population binaries can seed a new search)."""
-        ga = self.config.ga
-        if self.config.seed_population_file is not None:
-            loaded = load_population(self.config.seed_population_file,
-                                     expected_size=ga.population_size)
-            individuals = []
-            for individual in loaded:
-                clone = individual.clone(uid=self._take_uid())
-                individuals.append(clone)
-            return Population(individuals, number=0)
-        individuals = [
-            random_individual(self.config.library, ga.individual_size,
-                              self.rng, uid=self._take_uid())
-            for _ in range(ga.population_size)
-        ]
-        return Population(individuals, number=0)
+    # -- search steps ---------------------------------------------------------
 
     def _evaluate_population(self, population: Population) -> None:
         """Drive the staged evaluator and merge results in uid order."""
@@ -315,33 +329,6 @@ class GeneticEngine:
                 self.save_checkpoint(population)
             raise outcome.error
 
-    def _breed(self, population: Population, next_number: int) -> Population:
-        """Create the next generation (paper Figure 3)."""
-        ga = self.config.ga
-        children: List[Individual] = []
-
-        if ga.elitism:
-            elite = population.fittest()
-            children.append(elite.clone(uid=self._take_uid(),
-                                        parent_ids=(elite.uid,)))
-
-        while len(children) < ga.population_size:
-            parent1 = tournament_select(population.individuals, self.rng,
-                                        ga.tournament_size)
-            parent2 = tournament_select(population.individuals, self.rng,
-                                        ga.tournament_size)
-            genome1, genome2 = self._crossover(parent1, parent2, self.rng)
-            for genome in (genome1, genome2):
-                if len(children) >= ga.population_size:
-                    break
-                mutated = mutate(genome, self.config.library, self.rng,
-                                 ga.mutation_rate, ga.operand_mutation_share)
-                children.append(Individual(
-                    mutated, uid=self._take_uid(),
-                    parent_ids=(parent1.uid, parent2.uid)))
-
-        return Population(children, number=next_number)
-
     # -- bookkeeping -----------------------------------------------------------
 
     def _take_uid(self) -> int:
@@ -359,17 +346,25 @@ class GeneticEngine:
     # -- checkpoint / resume ----------------------------------------------
 
     def save_checkpoint(self, population: Population) -> Path:
-        """Persist the engine state after a completed generation."""
+        """Persist the engine state after a completed generation.
+
+        Version 2 carries the search-strategy name and its serialized
+        state next to the population/RNG/uid snapshot, so any strategy
+        — not just the stateless-between-generations GA — resumes from
+        exactly where it stopped.
+        """
         if self.checkpoint_path is None:
             raise ConfigError("engine has no checkpoint path configured")
         payload = {
             "format": "gest-repro-checkpoint",
-            "version": 1,
+            "version": 2,
             "generation": population.number,
             "population": population,
             "next_uid": self._next_uid,
             "best": self._best,
             "rng_state": self.rng.getstate(),
+            "strategy": self.strategy.name,
+            "strategy_state": self.strategy.state_dict(),
         }
         self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
         temp = self.checkpoint_path.with_suffix(".tmp")
@@ -387,18 +382,27 @@ class GeneticEngine:
                screen: Optional[ScreenProtocol] = None,
                backend: Optional[ExecutorBackend] = None,
                cache: Optional[EvaluationCache] = None,
-               workers: Optional[int] = None
+               workers: Optional[int] = None,
+               strategy: Optional[Union[str, SearchStrategy]] = None
                ) -> "GeneticEngine":
         """Rebuild an engine from a checkpoint file.
 
         The next :meth:`run` continues from the generation after the
         checkpointed one and reproduces exactly what the uninterrupted
-        run would have produced (population, RNG stream and uid counter
-        are all restored).  A checkpoint holding a *partially
-        evaluated* generation — written by the abort path when a
-        measurement plug-in returns no values — is finished first: its
-        unevaluated individuals go back through the evaluation pipeline
-        before breeding continues.
+        run would have produced (population, RNG stream, uid counter
+        and strategy state are all restored).  A checkpoint holding a
+        *partially evaluated* generation — written by the abort path
+        when a measurement plug-in returns no values — is finished
+        first: its unevaluated individuals go back through the
+        evaluation pipeline before breeding continues.
+
+        A version-1 checkpoint (pre-search-layer) is migrated in place:
+        those were written by the only search that existed — the
+        paper's GA — so it resumes under the ``genetic`` strategy and
+        under nothing else.  The checkpoint's strategy must match the
+        engine's: resuming a ``random`` checkpoint under ``genetic``
+        would silently turn one search into another, so it fails with
+        both names spelled out instead.
         """
         checkpoint_path = Path(checkpoint_path)
         if not checkpoint_path.exists():
@@ -411,15 +415,31 @@ class GeneticEngine:
             raise ConfigError(
                 f"{checkpoint_path} is not a checkpoint file")
         version = payload.get("version")
-        if version != 1:
+        if version == 1:
+            # Pre-search-layer checkpoints carry no strategy marker;
+            # they were necessarily written by the genetic engine.
+            payload = dict(payload)
+            payload["strategy"] = "genetic"
+            payload["strategy_state"] = {}
+        elif version != 2:
             raise ConfigError(
                 f"checkpoint {checkpoint_path} has unsupported version "
-                f"{version!r}; this build reads version 1 — re-run the "
-                "search or convert the checkpoint with the writing "
-                "version")
+                f"{version!r}; this build reads versions 1 (migrated "
+                "to the genetic strategy) and 2 — re-run the search or "
+                "convert the checkpoint with the writing version")
         engine = cls(config, measurement, fitness, recorder=recorder,
                      checkpoint_path=checkpoint_path, screen=screen,
-                     backend=backend, cache=cache, workers=workers)
+                     backend=backend, cache=cache, workers=workers,
+                     strategy=strategy)
+        saved_strategy = payload.get("strategy")
+        if saved_strategy != engine.strategy.name:
+            raise ConfigError(
+                f"checkpoint {checkpoint_path} was written by search "
+                f"strategy {saved_strategy!r} but this run uses "
+                f"{engine.strategy.name!r}; resume with "
+                f"strategy={saved_strategy!r} (CLI: --strategy "
+                f"{saved_strategy}) or start a fresh run")
+        engine.strategy.load_state(payload.get("strategy_state") or {})
         engine._resume_state = payload
         return engine
 
@@ -436,6 +456,7 @@ class GeneticEngine:
             screen_failures=sum(1 for i in population
                                 if getattr(i, "screen_failed", False)),
             best_measurements=list(best.measurements),
+            strategy=self.strategy.name,
         )
         if outcome is not None:
             stats.cache_hits = outcome.cache_hits

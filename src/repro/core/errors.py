@@ -18,7 +18,16 @@ class ConfigError(GestError):
     The paper specifies that the framework terminates execution when an
     instruction definition references an undefined operand id; that
     condition surfaces as this exception.
+
+    ``diagnostic_code`` optionally names the static-analysis code this
+    error corresponds to (e.g. ``SC210`` for an unknown search
+    strategy), so ``lint_config_file`` can report parse-time rejections
+    under their dedicated code instead of the generic ``SC201``.
     """
+
+    def __init__(self, *args, diagnostic_code: str | None = None) -> None:
+        self.diagnostic_code = diagnostic_code
+        super().__init__(*args)
 
 
 class TemplateError(GestError):

@@ -13,8 +13,9 @@ uniform-crossover"); the ablation benchmark exercises both.
 
 from __future__ import annotations
 
+import warnings
 from random import Random
-from typing import List, Sequence, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from .errors import ConfigError
 from .individual import Individual
@@ -37,15 +38,36 @@ def _fitness(individual: Individual) -> float:
     return individual.fitness
 
 
+#: (tournament_size, population_size) pairs already warned about, so a
+#: misconfigured run logs the clamp once, not once per selection.
+_CLAMP_WARNED: Set[Tuple[int, int]] = set()
+
+
 def tournament_select(population: Sequence[Individual], rng: Random,
                       tournament_size: int = 5) -> Individual:
     """Pick ``tournament_size`` individuals at random (with replacement,
     matching the paper's "randomly pick five individuals") and return
-    the fittest of them."""
+    the fittest of them.
+
+    A tournament larger than the population adds no selection pressure
+    — the extra draws just re-sample the same individuals — so it is
+    clamped to the population size, with a one-time warning naming both
+    values (the clamp also keeps the RNG draw count meaningful).
+    """
     if not population:
         raise ConfigError("cannot select from an empty population")
     if tournament_size < 1:
         raise ConfigError("tournament size must be >= 1")
+    if tournament_size > len(population):
+        key = (tournament_size, len(population))
+        if key not in _CLAMP_WARNED:
+            _CLAMP_WARNED.add(key)
+            warnings.warn(
+                f"tournament_size {tournament_size} exceeds the "
+                f"population size {len(population)}; clamping the "
+                f"tournament to {len(population)} draws",
+                RuntimeWarning, stacklevel=2)
+        tournament_size = len(population)
     best = population[rng.randrange(len(population))]
     for _ in range(tournament_size - 1):
         contender = population[rng.randrange(len(population))]

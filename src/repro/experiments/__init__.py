@@ -18,6 +18,8 @@ from .didt_virus import (DIDT_SEED, VoltageNoiseFigureResult,
 from .power_virus import (A15_SEED, A7_SEED, PowerFigureResult, figure5,
                           figure6, run_power_figure)
 from .runtime import RuntimeEstimate, estimate_runtime
+from .search_comparison import (COMPARISON_SEED, SearchComparisonResult,
+                                search_comparison)
 from .simple_virus import (Table4Result, XGENE_SIMPLE_SEED,
                            evolve_simple_virus, table4)
 from .table3 import Table3Result, table3
@@ -39,6 +41,7 @@ __all__ = [
     "A15_SEED", "A7_SEED", "PowerFigureResult", "figure5", "figure6",
     "run_power_figure",
     "RuntimeEstimate", "estimate_runtime",
+    "COMPARISON_SEED", "SearchComparisonResult", "search_comparison",
     "Table4Result", "XGENE_SIMPLE_SEED", "evolve_simple_virus", "table4",
     "Table3Result", "table3",
     "TemperatureFigureResult", "XGENE_IPC_SEED", "XGENE_SCALE",

@@ -98,8 +98,14 @@ def make_engine(machine: SimulatedMachine, metric: str, seed: int,
                 scale: GAScale,
                 fitness=None,
                 measurement: Optional[Measurement] = None,
-                recorder=None) -> GeneticEngine:
-    """Wire a GA engine for one (platform, metric) search."""
+                recorder=None,
+                strategy: Optional[str] = None) -> GeneticEngine:
+    """Wire a search engine for one (platform, metric) search.
+
+    ``strategy`` selects the search (default ``genetic`` — the paper's
+    GA); passing ``"random"`` gives the paper's baseline search over
+    the identical configuration and seed.
+    """
     if metric not in MEASUREMENTS:
         raise ValueError(
             f"unknown metric {metric!r}; expected one of "
@@ -121,7 +127,8 @@ def make_engine(machine: SimulatedMachine, metric: str, seed: int,
             target, {"samples": str(scale.samples)})
     if fitness is None:
         fitness = DefaultFitness()
-    return GeneticEngine(config, measurement, fitness, recorder=recorder)
+    return GeneticEngine(config, measurement, fitness, recorder=recorder,
+                         strategy=strategy)
 
 
 # -- memoised virus evolution --------------------------------------------------
@@ -136,18 +143,26 @@ def clear_virus_cache() -> None:
 def evolve_virus(platform: str, metric: str, seed: int,
                  scale: Optional[GAScale] = None,
                  name: Optional[str] = None,
-                 use_cache: bool = True) -> VirusResult:
+                 use_cache: bool = True,
+                 strategy: Optional[str] = None) -> VirusResult:
     """Evolve (or fetch the memoised) virus for a platform/metric pair,
-    then score it with one instance per core."""
+    then score it with one instance per core.
+
+    ``strategy`` selects the search strategy (default ``genetic``);
+    the memo key includes it, so a GA virus and a random-search
+    baseline for the same (platform, metric, seed, scale) coexist in
+    the cache.
+    """
     scale = scale or GAScale()
     key = (platform, metric, seed, scale.population_size,
            scale.generations, scale.individual_size,
-           scale.effective_mutation_rate(), scale.samples)
+           scale.effective_mutation_rate(), scale.samples,
+           strategy or "genetic")
     if use_cache and key in _VIRUS_CACHE:
         return _VIRUS_CACHE[key]
 
     machine = make_machine(platform, seed=seed)
-    engine = make_engine(machine, metric, seed, scale)
+    engine = make_engine(machine, metric, seed, scale, strategy=strategy)
     history = engine.run()
     best = history.best_individual
     source = engine.render_source(best)

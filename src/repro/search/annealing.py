@@ -1,0 +1,139 @@
+"""Simulated annealing over the instruction-sequence space.
+
+Like the hill climber, one incumbent proposes ``population_size``
+mutated neighbours per generation (a batched random walk — the
+evaluation layer measures them all in one pass).  Unlike the climber,
+acceptance is the Metropolis criterion: a worse candidate is accepted
+with probability ``exp(Δfitness / T)``, and the temperature ``T``
+decays geometrically each generation.  Early generations explore across
+fitness valleys; late generations behave like hill climbing.
+
+The temperature is genuine strategy state — it cannot be recovered from
+the population or the RNG stream — so it rides in every checkpoint via
+``state_dict`` and a resumed run cools from exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from ..core.errors import ConfigError
+from ..core.individual import Individual
+from ..core.population import Population
+from .base import STRATEGIES, SearchStrategy
+from .operators import MUTATION_OPERATORS
+
+__all__ = ["SimulatedAnnealingStrategy"]
+
+
+def _positive_float(value) -> float:
+    number = float(value)
+    if number <= 0.0:
+        raise ValueError("must be > 0")
+    return number
+
+
+def _cooling_factor(value) -> float:
+    number = float(value)
+    if not 0.0 < number <= 1.0:
+        raise ValueError("must be within (0, 1]")
+    return number
+
+
+@STRATEGIES.register("simulated_annealing")
+class SimulatedAnnealingStrategy(SearchStrategy):
+    """Metropolis walk with geometric cooling.
+
+    Parameters:
+
+    * ``initial_temperature`` (default 1.0) — the starting ``T``; set
+      it near the typical fitness delta between neighbours so early
+      acceptance of worse moves is likely but not certain.
+    * ``cooling`` (default 0.95) — per-generation decay factor,
+      ``T ← max(min_temperature, T × cooling)``.
+    * ``min_temperature`` (default 1e-3) — cooling floor; keeps the
+      acceptance probability well-defined and leaves a trickle of
+      exploration even in long runs.
+    * ``mutation`` (default ``default``) — the neighbour move, any
+      registered mutation operator.
+    """
+
+    name = "simulated_annealing"
+    PARAMS = {
+        "initial_temperature": (_positive_float, 1.0),
+        "cooling": (_cooling_factor, 0.95),
+        "min_temperature": (_positive_float, 1e-3),
+        "mutation": (str, "default"),
+    }
+
+    def __init__(self, params: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(params)
+        self._current: Optional[Individual] = None
+        self._temperature: float = self.params["initial_temperature"]
+
+    def _bound(self) -> None:
+        self._mutate = MUTATION_OPERATORS.get(self.params["mutation"])
+
+    def observe(self, population: Population) -> None:
+        """Metropolis-walk the evaluated candidates in population order,
+        then cool once for the generation."""
+        for candidate in population:
+            if candidate.fitness is None:
+                continue
+            if self._current is None or self._current.fitness is None:
+                self._current = candidate
+                continue
+            delta = candidate.fitness - self._current.fitness
+            if delta >= 0.0:
+                self._current = candidate
+            elif self.rng.random() < math.exp(delta / self._temperature):
+                self._current = candidate
+        self._temperature = max(self.params["min_temperature"],
+                                self._temperature * self.params["cooling"])
+
+    def next_population(self, population: Population,
+                        next_number: int) -> Population:
+        if self._current is None:
+            return self.random_population(next_number)
+        ga = self.config.ga
+        current = self._current
+        children = []
+        if ga.elitism:
+            children.append(current.clone(uid=self.take_uid(),
+                                          parent_ids=(current.uid,)))
+        while len(children) < ga.population_size:
+            mutated = self._mutate(list(current.instructions),
+                                   self.config.library, self.rng, ga)
+            children.append(Individual(mutated, uid=self.take_uid(),
+                                       parent_ids=(current.uid,)))
+        return Population(children, number=next_number)
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"current": self._current,
+                "temperature": self._temperature}
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        unexpected = set(state) - {"current", "temperature"}
+        if unexpected:
+            raise ConfigError(
+                f"simulated_annealing checkpoint state has unexpected "
+                f"key(s) {', '.join(sorted(unexpected))}; the "
+                "checkpoint was written by a different strategy or "
+                "version")
+        if "temperature" in state:
+            try:
+                self._temperature = _positive_float(state["temperature"])
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    "simulated_annealing checkpoint state has a "
+                    f"non-positive temperature "
+                    f"{state.get('temperature')!r}") from None
+        current = state.get("current")
+        if current is not None and not isinstance(current, Individual):
+            raise ConfigError(
+                "simulated_annealing checkpoint state 'current' is not "
+                "an Individual")
+        self._current = current

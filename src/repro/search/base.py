@@ -1,0 +1,183 @@
+"""The abstract search strategy and the strategy registry.
+
+The paper's framework is a GA, but its evaluation machinery — render a
+candidate into the template, assemble, measure, score — is search-
+agnostic, and the paper itself argues the GA's worth *by comparison
+with random search* (Section III.A).  This module defines the contract
+that lets the engine drive any population-based search over the same
+evaluation pipeline:
+
+1. :meth:`SearchStrategy.initial_population` proposes generation 0;
+2. the engine evaluates it (staged pipeline, any backend, any cache);
+3. :meth:`SearchStrategy.observe` lets the strategy update internal
+   state from the evaluated population (e.g. the annealer's accept/
+   reject walk);
+4. :meth:`SearchStrategy.next_population` proposes the next
+   generation;
+5. repeat.
+
+A strategy is a *pure proposal mechanism*: it owns no evaluation code
+and performs no I/O.  Everything it needs beyond the evaluated
+populations arrives through :meth:`bind` — the run configuration, the
+run's single RNG stream, and the engine's uid allocator.  All
+randomness must come from that bound RNG; this is what makes runs
+reproducible and checkpoints exact (the engine snapshots the RNG state,
+so a resumed strategy replays the identical draw sequence).
+
+Strategy-specific state that is *not* recoverable from the population
+(the annealer's temperature, the hill-climber's incumbent) is carried
+by :meth:`state_dict` / :meth:`load_state`, which the engine embeds in
+every checkpoint.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import ConfigError
+from ..core.individual import Individual, random_individual
+from ..core.population import Population, load_population
+from .registry import Registry
+
+__all__ = ["STRATEGIES", "SearchStrategy"]
+
+#: The strategy registry.  ``config.validate()``, the CLI ``--strategy``
+#: choices and the SC210 config lint all read this table.
+STRATEGIES = Registry("search strategy", diagnostic_code="SC210")
+
+
+class SearchStrategy:
+    """Base class for search strategies.
+
+    Subclasses set :attr:`name` (the registry key) and :attr:`PARAMS` —
+    an ordered mapping ``param name → (parser, default)`` declaring the
+    strategy's tunables.  Parameters arrive as strings from the XML
+    ``<search>`` block or as already-typed values from code; the parser
+    callable normalises either.  Unknown parameter names are rejected
+    here with the valid names listed, mirroring the operator
+    registries' behaviour.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = ""
+
+    #: ``param name → (parser, default)``.  Subclasses override.
+    PARAMS: Dict[str, Tuple[Callable[[Any], Any], Any]] = {}
+
+    def __init__(self, params: Optional[Dict[str, Any]] = None) -> None:
+        supplied = dict(params) if params else {}
+        unknown = [key for key in supplied if key not in self.PARAMS]
+        if unknown:
+            valid = ", ".join(self.PARAMS) if self.PARAMS else "(none)"
+            raise ConfigError(
+                f"search strategy {self.name!r} does not accept "
+                f"parameter(s) {', '.join(sorted(unknown))}; valid "
+                f"parameters: {valid}", diagnostic_code="SC210")
+        self.params: Dict[str, Any] = {}
+        for key, (parser, default) in self.PARAMS.items():
+            if key in supplied:
+                try:
+                    self.params[key] = parser(supplied[key])
+                except (TypeError, ValueError) as exc:
+                    raise ConfigError(
+                        f"search strategy {self.name!r}: invalid value "
+                        f"{supplied[key]!r} for parameter {key!r}: {exc}",
+                        diagnostic_code="SC210") from None
+            else:
+                self.params[key] = default
+        # Populated by bind().
+        self.config = None
+        self.rng: Optional[Random] = None
+        self._take_uid: Optional[Callable[[], int]] = None
+
+    # -- engine wiring ------------------------------------------------------
+
+    def bind(self, config, rng: Random,
+             take_uid: Callable[[], int]) -> None:
+        """Attach the run context.  Called once by the engine before
+        any population is proposed."""
+        config.validate()
+        self.config = config
+        self.rng = rng
+        self._take_uid = take_uid
+        self._bound()
+
+    def _bound(self) -> None:
+        """Hook for subclasses to resolve operators / validate params
+        against the now-available configuration."""
+
+    def take_uid(self) -> int:
+        if self._take_uid is None:
+            raise ConfigError(
+                f"search strategy {self.name!r} is not bound to an "
+                "engine; call bind() first")
+        return self._take_uid()
+
+    # -- the search contract ------------------------------------------------
+
+    def initial_population(self) -> Population:
+        """Propose generation 0.
+
+        The default replicates the engine's historical seeding exactly:
+        clone a seed-population file when configured (paper III.D), else
+        draw ``population_size`` random individuals from the bound RNG.
+        """
+        ga = self.config.ga
+        if self.config.seed_population_file is not None:
+            loaded = load_population(self.config.seed_population_file,
+                                     expected_size=ga.population_size)
+            individuals = []
+            for individual in loaded:
+                clone = individual.clone(uid=self.take_uid())
+                individuals.append(clone)
+            return Population(individuals, number=0)
+        individuals = [
+            random_individual(self.config.library, ga.individual_size,
+                              self.rng, uid=self.take_uid())
+            for _ in range(ga.population_size)
+        ]
+        return Population(individuals, number=0)
+
+    def observe(self, population: Population) -> None:
+        """Receive the just-evaluated population.  Called once per
+        generation, after evaluation and before the engine checkpoints.
+        Strategies that keep state beyond the population (incumbents,
+        temperatures) update it here."""
+
+    def next_population(self, population: Population,
+                        next_number: int) -> Population:
+        """Propose generation ``next_number`` from the evaluated
+        ``population``."""
+        raise NotImplementedError
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Strategy state for checkpoints — everything :meth:`observe`
+        accumulates that the population/RNG snapshot does not already
+        capture.  Must be picklable and round-trip through
+        :meth:`load_state`.  Stateless strategies return ``{}``."""
+        return {}
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output on resume."""
+        if state:
+            raise ConfigError(
+                f"search strategy {self.name!r} is stateless but the "
+                f"checkpoint carries state keys "
+                f"{', '.join(sorted(state))}; the checkpoint was "
+                "written by a different strategy or version")
+
+    # -- shared helpers -----------------------------------------------------
+
+    def random_population(self, number: int) -> Population:
+        """``population_size`` fresh random individuals (the paper's
+        random baseline; also the annealer/climber restart move)."""
+        ga = self.config.ga
+        individuals = [
+            random_individual(self.config.library, ga.individual_size,
+                              self.rng, uid=self.take_uid())
+            for _ in range(ga.population_size)
+        ]
+        return Population(individuals, number=number)

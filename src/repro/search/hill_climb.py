@@ -1,0 +1,99 @@
+"""Parallel hill climbing over the instruction-sequence space.
+
+A single incumbent is tracked; every generation proposes
+``population_size`` mutated neighbours of it (evaluated as one batch —
+the framework's population machinery doubles as a parallel neighbour
+sweep), and the incumbent moves only to a strictly better neighbour.
+This is the natural "local search" baseline between the paper's random
+baseline and the full GA: it exploits locality (good stress kernels are
+usually one instruction swap away from good stress kernels) but cannot
+cross fitness valleys — exactly the failure mode simulated annealing
+(:mod:`repro.search.annealing`) addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..core.errors import ConfigError
+from ..core.individual import Individual
+from ..core.population import Population
+from .base import STRATEGIES, SearchStrategy
+from .operators import MUTATION_OPERATORS
+
+__all__ = ["HillClimbStrategy"]
+
+
+@STRATEGIES.register("hill_climb")
+class HillClimbStrategy(SearchStrategy):
+    """Steepest-ascent hill climbing with a batched neighbourhood.
+
+    Parameters:
+
+    * ``mutation`` — the neighbour move, any registered mutation
+      operator (default ``default``: the paper's mixed instruction/
+      operand mutation, giving small steps at the configured
+      ``mutation_rate``).
+
+    The incumbent is strategy state: it survives checkpoints via
+    ``state_dict`` so a resumed climb continues from the same point in
+    the landscape.
+    """
+
+    name = "hill_climb"
+    PARAMS = {
+        "mutation": (str, "default"),
+    }
+
+    def __init__(self, params: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(params)
+        self._current: Optional[Individual] = None
+
+    def _bound(self) -> None:
+        self._mutate = MUTATION_OPERATORS.get(self.params["mutation"])
+
+    def observe(self, population: Population) -> None:
+        fittest = population.fittest()
+        if fittest.fitness is None:
+            return
+        if self._current is None or self._current.fitness is None or \
+                fittest.fitness > self._current.fitness:
+            self._current = fittest
+
+    def next_population(self, population: Population,
+                        next_number: int) -> Population:
+        if self._current is None:
+            # Every individual failed to evaluate; restart randomly
+            # rather than climbing from nothing.
+            return self.random_population(next_number)
+        ga = self.config.ga
+        current = self._current
+        children = []
+        if ga.elitism:
+            children.append(current.clone(uid=self.take_uid(),
+                                          parent_ids=(current.uid,)))
+        while len(children) < ga.population_size:
+            mutated = self._mutate(list(current.instructions),
+                                   self.config.library, self.rng, ga)
+            children.append(Individual(mutated, uid=self.take_uid(),
+                                       parent_ids=(current.uid,)))
+        return Population(children, number=next_number)
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"current": self._current}
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        unexpected = set(state) - {"current"}
+        if unexpected:
+            raise ConfigError(
+                f"hill_climb checkpoint state has unexpected key(s) "
+                f"{', '.join(sorted(unexpected))}; the checkpoint was "
+                "written by a different strategy or version")
+        current = state.get("current")
+        if current is not None and not isinstance(current, Individual):
+            raise ConfigError(
+                "hill_climb checkpoint state 'current' is not an "
+                "Individual")
+        self._current = current

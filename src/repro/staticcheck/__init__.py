@@ -22,7 +22,7 @@ CLI entry points: ``gest lint <config>``, ``gest check <source.s>``,
 """
 
 from .configlint import (detect_syntax, lint_config, lint_config_file,
-                         lint_library, lint_template)
+                         lint_library, lint_search, lint_template)
 from .dataflow import (DataflowReport, StaticProfile, analyze_program,
                        DEFAULT_L1_BYTES, DEFAULT_L2_BYTES,
                        DEFAULT_LINE_BYTES)
@@ -36,7 +36,7 @@ from .selflint import (lint_file, lint_source, lint_tree,
 
 __all__ = [
     "detect_syntax", "lint_config", "lint_config_file", "lint_library",
-    "lint_template",
+    "lint_search", "lint_template",
     "DataflowReport", "StaticProfile", "analyze_program",
     "DEFAULT_L1_BYTES", "DEFAULT_L2_BYTES", "DEFAULT_LINE_BYTES",
     "CODES", "Diagnostic", "Location", "Severity",

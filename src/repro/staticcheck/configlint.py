@@ -18,6 +18,10 @@ target uses:
 * ``SC206``/``SC207``/``SC208`` — template problems: a missing,
   duplicated or misplaced ``#loop_code`` marker, a template that does
   not assemble, a template without a measured ``.loop`` section;
+* ``SC209``/``SC210`` — GA operator / search-strategy names that do
+  not resolve against the :mod:`repro.search` registries, with a
+  nearest-match suggestion (these mostly matter for programmatically
+  built configs — file parsing validates eagerly and reports SC201);
 * ``SC201`` — the configuration file does not parse at all (unknown
   operand classes and undefined operand references surface here with
   the parser's own actionable message).
@@ -41,7 +45,7 @@ from ..isa.assembler import BaseAssembler
 from .diagnostics import Diagnostic, make_diagnostic
 
 __all__ = ["lint_config", "lint_config_file", "lint_library",
-           "lint_template", "detect_syntax"]
+           "lint_template", "lint_search", "detect_syntax"]
 
 #: Cap on per-slot value enumeration; beyond this the slot is sampled
 #: (ends + evenly spaced interior points) and the diagnostic says so.
@@ -235,13 +239,77 @@ def lint_library(library: InstructionLibrary,
     return diagnostics
 
 
+def lint_search(config: RunConfig,
+                file: Optional[str] = None) -> List[Diagnostic]:
+    """Check operator and strategy names against the search registries.
+
+    The registries are the single source of truth — the same tables
+    ``GAParameters.validate`` and the CLI ``--strategy`` choices read —
+    and every diagnostic carries the registry's full choice list plus a
+    nearest-match suggestion (``did you mean 'tournament'?``).
+    """
+    # Lazy imports: repro.search imports core submodules, and this
+    # module is reachable from repro.core.config's validators.
+    from ..search import STRATEGIES, make_strategy
+    from ..search.operators import (CROSSOVER_OPERATORS,
+                                    MUTATION_OPERATORS,
+                                    REPLACEMENT_POLICIES,
+                                    SELECTION_OPERATORS)
+
+    diagnostics: List[Diagnostic] = []
+    ga = config.ga
+    if ga.parent_selection_method not in SELECTION_OPERATORS:
+        diagnostics.append(make_diagnostic(
+            "SC209",
+            SELECTION_OPERATORS.unknown_message(ga.parent_selection_method),
+            file=file))
+    if ga.crossover_operator not in CROSSOVER_OPERATORS:
+        diagnostics.append(make_diagnostic(
+            "SC209",
+            CROSSOVER_OPERATORS.unknown_message(ga.crossover_operator),
+            file=file))
+
+    search = config.search
+    if search.strategy not in STRATEGIES:
+        diagnostics.append(make_diagnostic(
+            "SC210", STRATEGIES.unknown_message(search.strategy),
+            file=file))
+        return diagnostics
+
+    # Strategy parameters that name an operator resolve against the
+    # operator registries; everything else (unknown parameter names,
+    # unparsable values) is caught by instantiating the strategy.
+    operator_params = {
+        "selection": SELECTION_OPERATORS,
+        "crossover": CROSSOVER_OPERATORS,
+        "mutation": MUTATION_OPERATORS,
+        "replacement": REPLACEMENT_POLICIES,
+    }
+    for key, value in search.params.items():
+        registry = operator_params.get(key)
+        if registry is not None and value is not None and \
+                str(value).strip() and str(value).strip() not in registry:
+            diagnostics.append(make_diagnostic(
+                "SC209",
+                registry.unknown_message(str(value).strip(),
+                                         label=f"{key} operator"),
+                file=file))
+    try:
+        make_strategy(search.strategy, search.params)
+    except ConfigError as exc:
+        diagnostics.append(make_diagnostic("SC210", str(exc), file=file))
+    return diagnostics
+
+
 def lint_config(config: RunConfig,
                 file: Optional[str] = None) -> List[Diagnostic]:
-    """Lint a parsed configuration: template plus instruction library."""
+    """Lint a parsed configuration: template, instruction library, and
+    search-layer names."""
     diagnostics = lint_template(config.template_text, file=file)
     syntax = detect_syntax(config.template_text)
     assembler = assembler_for(syntax) if syntax is not None else None
     diagnostics.extend(lint_library(config.library, assembler, file=file))
+    diagnostics.extend(lint_search(config, file=file))
     return diagnostics
 
 
@@ -249,13 +317,17 @@ def lint_config_file(path: Union[str, Path]) -> List[Diagnostic]:
     """Parse and lint a main-configuration file.
 
     Parse failures become ``SC201`` diagnostics instead of exceptions,
-    so the CLI reports them uniformly.
+    so the CLI reports them uniformly.  An error that carries its own
+    ``diagnostic_code`` (an unknown search strategy rejected at parse
+    time is ``SC210``, an unknown GA operator ``SC209``) keeps that
+    code.
     """
     path = Path(path)
     try:
         config = parse_config_file(path)
     except (ConfigError, GestError) as exc:
-        return [make_diagnostic("SC201", str(exc), file=str(path))]
+        code = getattr(exc, "diagnostic_code", None) or "SC201"
+        return [make_diagnostic(code, str(exc), file=str(path))]
     except OSError as exc:
         # e.g. the path is a directory, or unreadable
         return [make_diagnostic("SC201", f"cannot read configuration: "

@@ -73,6 +73,9 @@ CODES: Dict[str, tuple] = {
                               "outside the .loop section"),
     "SC207": (Severity.ERROR, "template does not assemble"),
     "SC208": (Severity.WARNING, "template has no .loop/.endloop section"),
+    "SC209": (Severity.ERROR, "unknown GA operator name"),
+    "SC210": (Severity.ERROR, "unknown search strategy or invalid "
+                              "strategy parameter"),
     # -- framework determinism self-lint ---------------------------------
     "SC400": (Severity.ERROR, "framework source does not parse"),
     "SC401": (Severity.ERROR, "unseeded module-level random.* call"),

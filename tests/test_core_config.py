@@ -69,12 +69,18 @@ class TestGAParameters:
             ga.validate()
 
     def test_unknown_crossover_rejected(self):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError, match="one_point"):
             GAParameters(crossover_operator="two_point").validate()
 
     def test_unknown_selection_rejected(self):
-        with pytest.raises(ConfigError):
-            GAParameters(parent_selection_method="roulette").validate()
+        # The error lists the registry's valid choices (single source
+        # of truth with repro.search).
+        with pytest.raises(ConfigError, match="tournament"):
+            GAParameters(parent_selection_method="lottery").validate()
+
+    def test_registry_backed_selection_methods_accepted(self):
+        for method in ("tournament", "roulette", "rank"):
+            GAParameters(parent_selection_method=method).validate()
 
 
 class TestParseConfigText:

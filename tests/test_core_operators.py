@@ -23,13 +23,33 @@ class TestTournamentSelect:
         for _ in range(20):
             assert tournament_select(population, rng, 5) in population
 
-    def test_full_tournament_returns_global_best(self, tiny_library, rng):
+    def test_oversized_tournament_clamped_with_warning(self, tiny_library,
+                                                       rng):
+        import warnings
+
+        from repro.core import operators as ops
+
         population = [_evaluated(tiny_library, rng, float(i))
                       for i in range(6)]
-        # A tournament much larger than the population almost surely
-        # samples the best individual.
-        winner = tournament_select(population, rng, 200)
-        assert winner.fitness == 5.0
+        ops._CLAMP_WARNED.clear()
+        with pytest.warns(RuntimeWarning) as caught:
+            winner = tournament_select(population, rng, 200)
+        assert winner in population
+        # The warning names both values, and fires once, not per call.
+        message = str(caught[0].message)
+        assert "200" in message and "6" in message
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            tournament_select(population, rng, 200)
+
+    def test_clamped_tournament_draws_population_size(self, tiny_library):
+        # A clamped tournament behaves exactly like one sized to the
+        # population: same draws from the same stream.
+        population = [_evaluated(tiny_library, make_rng(0), float(i))
+                      for i in range(6)]
+        a = tournament_select(population, make_rng(7), 200)
+        b = tournament_select(population, make_rng(7), 6)
+        assert a is b
 
     def test_selection_pressure_favours_fit(self, tiny_library):
         rng = make_rng(3)

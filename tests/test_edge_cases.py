@@ -228,12 +228,16 @@ class TestShippedConfigs:
         ("arm_ipc", "xgene2"),
         ("x86_didt", "athlon_x4"),
     ])
-    def test_bundle_parses_and_runs_one_generation(self, bundle, platform):
+    def test_bundle_parses_and_runs_one_generation(self, bundle, platform,
+                                                   tmp_path):
         from pathlib import Path
         from repro.cli import main
         config = Path(__file__).parent.parent / "configs" / bundle \
             / "config.xml"
         assert config.exists(), f"missing shipped bundle {bundle}"
+        # --results: the bundle's own results_dir points at the committed
+        # configs/<bundle>/results/, which this run must not touch.
         rc = main(["run", str(config), "--platform", platform,
-                   "--generations", "1", "--quiet"])
+                   "--generations", "1", "--quiet",
+                   "--results", str(tmp_path / "results")])
         assert rc == 0
