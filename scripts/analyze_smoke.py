@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Run ``gest analyze`` over every shipped winner and sanity-check it.
+
+Feeds all ``configs/*/results/individuals/*.txt`` sources through the
+``analyze`` CLI subcommand (the same entry point users hit), in JSON
+mode, against the platform each config targets.  Verifies every source
+analyzes cleanly: exit code 0, a well-formed cost block with positive
+cycle bounds, a static IPC within the machine's issue width, and
+deterministically ordered diagnostics.  Exits non-zero on the first
+violation; CI runs this as the analyze-smoke leg.
+
+Usage: PYTHONPATH=src python scripts/analyze_smoke.py
+"""
+
+import contextlib
+import io
+import json
+import sys
+from pathlib import Path
+
+from repro.cli import main
+from repro.cpu.microarch import microarch_for
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Shipped config directory -> analyze platform.
+CONFIG_PLATFORMS = {
+    "arm_ipc": "cortex_a15",
+    "arm_power": "cortex_a15",
+    "arm_temperature": "cortex_a15",
+    "x86_didt": "athlon_x4",
+}
+
+
+def analyze(path: Path, platform: str) -> dict:
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main(["analyze", str(path), "--platform", platform,
+                     "--json"])
+    if code != 0:
+        raise SystemExit(f"FAIL {path}: analyze exited {code}\n"
+                         f"{out.getvalue()}")
+    return json.loads(out.getvalue())
+
+
+def check(path: Path, platform: str) -> None:
+    payload = analyze(path, platform)
+    arch = microarch_for(platform)
+    cost = payload["cost"]
+    if cost["arch"] != platform:
+        raise SystemExit(f"FAIL {path}: cost priced for {cost['arch']}")
+    if not cost["bound_cycles"] > 0:
+        raise SystemExit(f"FAIL {path}: non-positive cycle bound")
+    if not 0 < cost["ipc_upper"] <= arch.issue_width + 1e-9:
+        raise SystemExit(
+            f"FAIL {path}: static IPC {cost['ipc_upper']} outside "
+            f"(0, {arch.issue_width}]")
+    keys = [(d.get("file") or "", d["code"], d.get("line") or 0)
+            for d in payload["diagnostics"]]
+    if keys != sorted(keys):
+        raise SystemExit(f"FAIL {path}: diagnostics not sorted: {keys}")
+
+
+def run() -> int:
+    total = 0
+    for config_dir, platform in sorted(CONFIG_PLATFORMS.items()):
+        winners = sorted((REPO_ROOT / "configs" / config_dir / "results"
+                          / "individuals").glob("*.txt"))
+        if not winners:
+            raise SystemExit(f"FAIL: no winners under {config_dir}")
+        for path in winners:
+            check(path, platform)
+        total += len(winners)
+        print(f"analyze-smoke: {config_dir}: {len(winners)} winners OK "
+              f"({platform})")
+    print(f"analyze-smoke: {total} sources analyzed cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

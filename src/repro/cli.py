@@ -9,6 +9,8 @@ reproduction mirrors that::
     gest measure source.s --platform NAME [--cores N]
     gest lint config.xml [--json]
     gest check source.s [--platform NAME] [--json]
+    gest analyze source.s [--platform NAME] [--intent METRIC]
+                          [--fitness-target X] [--json]
     gest selfcheck [--json]
     gest stats results_dir/
     gest presets
@@ -20,7 +22,11 @@ individual) and prints every sensor — the quick way to re-score a
 saved virus.  ``lint`` runs the static config/library checks of
 :mod:`repro.staticcheck` (also run eagerly by ``run``); ``check``
 assembles one source file and reports its dataflow diagnostics and
-static profile; ``selfcheck`` runs the framework determinism lint over
+static profile; ``analyze`` additionally prices the loop body against
+the platform's static cost model (:mod:`repro.staticcheck.costmodel`),
+printing the per-instruction pressure table, the static IPC/energy
+bounds and any ``SC3xx`` findings; ``selfcheck`` runs the framework
+determinism lint over
 the installed ``repro`` package.  ``stats`` replays the released
 post-processing script on a recorded run.  ``presets`` lists the
 available simulated platforms.
@@ -46,10 +52,11 @@ from .evaluation import EvaluationCache, StageTimings
 from .fitness.default_fitness import DefaultFitness
 from .measurement.base import Measurement
 from .search import STRATEGIES
-from .staticcheck import (StaticScreen, analyze_program,
+from .staticcheck import (StaticScreen, analyze_cost, analyze_program,
                           diagnostics_to_json, format_diagnostics,
                           has_errors, lint_config, lint_config_file,
-                          lint_tree, repro_package_root)
+                          lint_tree, render_cost_table,
+                          repro_package_root, sort_diagnostics)
 
 __all__ = ["main", "build_parser"]
 
@@ -121,6 +128,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "the check uses")
     check.add_argument("--json", action="store_true", dest="as_json")
 
+    analyze = sub.add_parser(
+        "analyze", help="price a source file against a platform's "
+                        "static cost model (bounds, pressure table, "
+                        "SC3xx diagnostics)")
+    analyze.add_argument("source", type=Path, help="assembly source file")
+    analyze.add_argument("--platform", default="cortex_a15",
+                         choices=preset_names(),
+                         help="platform whose latency/port/energy "
+                              "tables price the body")
+    analyze.add_argument("--intent", default=None,
+                         choices=("power", "energy", "temperature",
+                                  "didt", "ipc"),
+                         help="stress intent (fitness metric) for the "
+                              "SC302/SC303 checks")
+    analyze.add_argument("--fitness-target", type=float, default=None,
+                         help="fitness value the search hopes to reach; "
+                              "SC303 fires when the static bound rules "
+                              "it out")
+    analyze.add_argument("--json", action="store_true", dest="as_json")
+
     selfcheck = sub.add_parser(
         "selfcheck", help="run the framework determinism lint over the "
                           "installed repro package")
@@ -163,7 +190,7 @@ def _command_run(args: argparse.Namespace) -> int:
 
     results_dir = args.results or config.results_dir
     recorder = OutputRecorder(results_dir) if results_dir else None
-    screen = None if args.no_screen else StaticScreen(machine.assembler)
+    screen = None if args.no_screen else StaticScreen.for_machine(machine)
 
     if args.cache is not None:
         config.evaluation.cache = args.cache
@@ -242,7 +269,7 @@ def _command_measure(args: argparse.Namespace) -> int:
 
 
 def _command_lint(args: argparse.Namespace) -> int:
-    diagnostics = lint_config_file(args.config)
+    diagnostics = sort_diagnostics(lint_config_file(args.config))
     if args.as_json:
         print(diagnostics_to_json(diagnostics, file=str(args.config)))
     else:
@@ -272,6 +299,7 @@ def _command_check(args: argparse.Namespace) -> int:
     kwargs = {} if hierarchy is None else {"l1_bytes": l1, "l2_bytes": l2}
     report = analyze_program(program, source_file=str(args.source),
                              **kwargs)
+    report.diagnostics = sort_diagnostics(report.diagnostics)
     profile = report.profile
     if args.as_json:
         print(diagnostics_to_json(
@@ -300,6 +328,47 @@ def _command_check(args: argparse.Namespace) -> int:
           f"{profile.memory_instructions} memory instructions)")
     print(f"dead writes:    {profile.dead_writes}")
     print(f"uninit reads:   {profile.uninitialised_reads}")
+    print(format_diagnostics(report.diagnostics))
+    return 1 if has_errors(report.diagnostics) else 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    if not args.source.exists():
+        print(f"error: source file {args.source} does not exist",
+              file=sys.stderr)
+        return 1
+    machine = SimulatedMachine(args.platform)
+    hierarchy = machine.hierarchy
+    kwargs = {}
+    if hierarchy is not None:
+        kwargs = {"l1_bytes": hierarchy.l1_config.size_bytes,
+                  "l2_bytes": hierarchy.l2_config.size_bytes,
+                  "line_bytes": hierarchy.l1_config.line_bytes}
+    try:
+        program = machine.compile(args.source.read_text(),
+                                  name=args.source.name)
+    except GestError as exc:
+        if args.as_json:
+            print(diagnostics_to_json([], file=str(args.source),
+                                      assembly_error=str(exc)))
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = analyze_cost(program, machine.arch,
+                          source_file=str(args.source),
+                          intent=args.intent,
+                          fitness_target=args.fitness_target, **kwargs)
+    report.diagnostics = sort_diagnostics(report.diagnostics)
+    if args.as_json:
+        print(diagnostics_to_json(report.diagnostics,
+                                  file=str(args.source),
+                                  cost=report.cost.to_dict()))
+        return 1 if has_errors(report.diagnostics) else 0
+    print(f"program: {args.source.name} "
+          f"({args.platform}, {machine.assembler.syntax_name})")
+    print()
+    print(render_cost_table(report))
+    print()
     print(format_diagnostics(report.diagnostics))
     return 1 if has_errors(report.diagnostics) else 0
 
@@ -353,6 +422,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_lint(args)
         if args.command == "check":
             return _command_check(args)
+        if args.command == "analyze":
+            return _command_analyze(args)
         if args.command == "selfcheck":
             return _command_selfcheck(args)
         if args.command == "stats":

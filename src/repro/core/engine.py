@@ -84,6 +84,13 @@ class GenerationStats:
     #: Which search strategy proposed this generation; lets analysis
     #: scripts tell GA and baseline runs apart in stats.jsonl.
     strategy: str = "genetic"
+    #: Surrogate-search record for this generation, when the strategy
+    #: publishes one through ``generation_metrics()`` (the
+    #: ``static_rank`` wrapper reports simulated/pruned/replayed counts
+    #: and the static-vs-simulated Spearman rank correlation here; it
+    #: lands in stats.jsonl).  Excluded from equality like the other
+    #: observability fields.
+    surrogate: Optional[dict] = field(default=None, compare=False)
     #: Individuals satisfied from the evaluation cache this pass.
     cache_hits: int = field(default=0, compare=False)
     #: Individuals that entered the measure stage this pass.
@@ -458,6 +465,9 @@ class GeneticEngine:
             best_measurements=list(best.measurements),
             strategy=self.strategy.name,
         )
+        metrics = getattr(self.strategy, "generation_metrics", None)
+        if callable(metrics):
+            stats.surrogate = metrics(population.number)
         if outcome is not None:
             stats.cache_hits = outcome.cache_hits
             stats.measured = outcome.measured

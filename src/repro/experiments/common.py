@@ -14,7 +14,7 @@ search.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from ..core.config import GAParameters, RunConfig
 from ..core.engine import GeneticEngine, RunHistory
@@ -28,6 +28,7 @@ from ..measurement.ipc import IPCMeasurement
 from ..measurement.oscilloscope import OscilloscopeMeasurement
 from ..measurement.power import PowerMeasurement
 from ..measurement.temperature import TemperatureMeasurement
+from ..search import SearchStrategy
 from ..workloads.library import workload
 
 __all__ = ["GAScale", "VirusResult", "make_machine", "make_engine",
@@ -99,12 +100,15 @@ def make_engine(machine: SimulatedMachine, metric: str, seed: int,
                 fitness=None,
                 measurement: Optional[Measurement] = None,
                 recorder=None,
-                strategy: Optional[str] = None) -> GeneticEngine:
+                strategy: Optional[Union[str, SearchStrategy]] = None
+                ) -> GeneticEngine:
     """Wire a search engine for one (platform, metric) search.
 
     ``strategy`` selects the search (default ``genetic`` — the paper's
     GA); passing ``"random"`` gives the paper's baseline search over
-    the identical configuration and seed.
+    the identical configuration and seed, and a ready
+    :class:`~repro.search.SearchStrategy` instance runs as-is (how the
+    comparison experiment wires the ``static_rank`` wrapper).
     """
     if metric not in MEASUREMENTS:
         raise ValueError(

@@ -15,14 +15,21 @@ a max over i.i.d. samples and improves only logarithmically).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.engine import RunHistory
+from ..search import SearchStrategy, make_strategy
 from .common import GAScale, make_engine, make_machine
 
 __all__ = ["SearchComparisonResult", "search_comparison",
            "COMPARISON_SEED"]
+
+#: ``static_rank(<base>)`` pseudo-names select the surrogate wrapper
+#: around a base strategy, priced against the experiment's own
+#: platform and metric.
+_WRAPPER_PATTERN = re.compile(r"static_rank\((\w+)\)")
 
 #: One fixed seed for the whole comparison: every strategy starts from
 #: the identical generation-0 population.  With the default scale this
@@ -45,6 +52,12 @@ class SearchComparisonResult:
         return best.fitness if best is not None and \
             best.fitness is not None else 0.0
 
+    def simulated_evaluations(self, strategy: str) -> int:
+        """Full simulated measurements the strategy paid for — what the
+        ``static_rank`` wrapper economises on."""
+        return sum(g.measured
+                   for g in self.histories[strategy].generations)
+
     def ranking(self) -> List[str]:
         """Strategy names, best final fitness first."""
         return sorted(self.histories, key=self.best_fitness, reverse=True)
@@ -55,15 +68,32 @@ class SearchComparisonResult:
         for name in self.ranking():
             series = self.histories[name].best_fitness_series()
             lines.append(f"  {name:20s} {self.best_fitness(name):8.4f}  "
-                         f"(per generation: "
+                         f"({self.simulated_evaluations(name)} simulated; "
+                         f"per generation: "
                          + " ".join(f"{v:.3f}" for v in series) + ")")
         return "\n".join(lines)
 
 
+def _resolve_strategy(name: str, platform: str,
+                      metric: str) -> Union[str, SearchStrategy]:
+    """Map a strategy label to what the engine accepts.
+
+    Plain registered names pass through; a ``static_rank(<base>)``
+    pseudo-name builds the wrapper over ``<base>``, pricing candidates
+    against the experiment's platform and metric.
+    """
+    match = _WRAPPER_PATTERN.fullmatch(name)
+    if match is None:
+        return name
+    return make_strategy("static_rank", {
+        "base": match.group(1), "platform": platform, "metric": metric})
+
+
 def search_comparison(platform: str = "xgene2", metric: str = "ipc",
                       seed: int = COMPARISON_SEED,
-                      strategies: Sequence[str] = ("genetic", "random",
-                                                   "hill_climb",
+                      strategies: Sequence[str] = ("genetic",
+                                                   "static_rank(genetic)",
+                                                   "random", "hill_climb",
                                                    "simulated_annealing"),
                       scale: Optional[GAScale] = None
                       ) -> SearchComparisonResult:
@@ -72,7 +102,11 @@ def search_comparison(platform: str = "xgene2", metric: str = "ipc",
     Each strategy gets a fresh machine and engine built from the same
     seed, so generation 0 and the measurement noise stream are
     identical across strategies; the trajectories diverge only through
-    the strategies' proposals.
+    the strategies' proposals.  Besides registered names, a
+    ``static_rank(<base>)`` pseudo-name runs the surrogate wrapper
+    around ``<base>`` — same configuration and seed, but only the
+    statically top-ranked fraction of each generation is simulated
+    (compare with :meth:`SearchComparisonResult.simulated_evaluations`).
     """
     scale = scale or GAScale(population_size=10, generations=8,
                              individual_size=20, samples=2)
@@ -80,6 +114,8 @@ def search_comparison(platform: str = "xgene2", metric: str = "ipc",
                                     seed=seed)
     for name in strategies:
         machine = make_machine(platform, seed=seed)
-        engine = make_engine(machine, metric, seed, scale, strategy=name)
+        engine = make_engine(machine, metric, seed, scale,
+                             strategy=_resolve_strategy(name, platform,
+                                                        metric))
         result.histories[name] = engine.run()
     return result

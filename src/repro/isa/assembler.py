@@ -231,6 +231,10 @@ class BaseAssembler:
         program = Program(name=name, init=init, loop=loop,
                           labels={k: v[1] for k, v in labels.items()})
         program.register_values = self.register_values_from_init(init)
+        # Warm the dependence summary here, in the toolchain front-end,
+        # so the static cost model's ranking path never pays a
+        # per-instruction pass (see Program.dependence_summary).
+        program.dependence_summary()
         return program
 
     # -- internals -----------------------------------------------------------------

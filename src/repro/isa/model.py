@@ -20,8 +20,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["InstrClass", "DecodedInstruction", "Program",
-           "INT_REGISTER_COUNT", "VEC_REGISTER_COUNT", "FLAGS_REGISTER"]
+__all__ = ["InstrClass", "DecodedInstruction", "DependenceSummary",
+           "Program", "INT_REGISTER_COUNT", "VEC_REGISTER_COUNT",
+           "FLAGS_REGISTER"]
 
 #: Architectural register file sizes shared by both syntaxes.
 INT_REGISTER_COUNT = 16
@@ -30,6 +31,10 @@ VEC_REGISTER_COUNT = 16
 #: Pseudo-register representing the condition flags (set by ``cmp`` /
 #: ``subs``, read by conditional branches).
 FLAGS_REGISTER = "flags"
+
+#: Sentinel dependence row: the chain through this register was killed
+#: by a constant restart (a write whose instruction has no live reads).
+_DEAD = (-1, -1, None)
 
 
 class InstrClass(enum.Enum):
@@ -106,6 +111,44 @@ class DecodedInstruction:
         return self.iclass is InstrClass.BRANCH
 
 
+@dataclass(frozen=True)
+class DependenceSummary:
+    """Arch-independent condensation of a loop body's static structure.
+
+    Built once per :class:`Program` (the assembler warms it at the end
+    of ``assemble``) and consumed by the static cost model's ranking
+    fast path (:func:`repro.staticcheck.costmodel.static_score`):
+    pricing the body against *any* microarchitecture then touches only
+    the small group vocabulary and the cycle family — never the
+    instruction list — which is what keeps a static score orders of
+    magnitude cheaper than one simulated evaluation.
+
+    ``cycle_counts`` holds the loop-carried dependence cycles found by
+    *single-predecessor condensation*: one sequential pass over the
+    body tracks, per register, the deepest dependence path from an
+    iteration-boundary read (a register read before its first in-body
+    write), keeping only the deepest predecessor when paths merge.
+    Every recorded cycle is a real dependence cycle of the body, so a
+    latency-weighted mean over this family never exceeds the exact
+    maximum cycle ratio — the relaxation is *sound* for upper-bound
+    IPC estimates (see the cost model's docstring for the ordering).
+    """
+
+    #: Distinct ``(group, iclass)`` pricing keys of the loop body.
+    group_keys: Tuple[Tuple[str, InstrClass], ...]
+    #: Loop-body instruction count per vocabulary entry.
+    group_counts: Tuple[int, ...]
+    #: Loop-body length (== ``sum(group_counts)``), kept denormalised
+    #: so scoring never iterates.
+    loop_length: int
+    #: Per cycle: instruction count per vocabulary entry along the
+    #: cycle's dependence path.
+    cycle_counts: Tuple[Tuple[int, ...], ...]
+    #: Per cycle: the number of iterations it spans (its edge count in
+    #: the boundary-register graph).
+    cycle_lengths: Tuple[int, ...]
+
+
 @dataclass
 class Program:
     """An assembled program: init section + loop body.
@@ -123,10 +166,108 @@ class Program:
     #: name → integer value (used by the power model's toggle factor).
     register_values: Dict[str, int] = field(default_factory=dict)
     labels: Dict[str, int] = field(default_factory=dict)
+    #: Cached :class:`DependenceSummary`; built lazily, warmed by the
+    #: assembler so every assembled program ships with it.
+    _dependence_summary: Optional[DependenceSummary] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def loop_length(self) -> int:
         return len(self.loop)
+
+    def dependence_summary(self) -> DependenceSummary:
+        """The loop body's :class:`DependenceSummary` (cached).
+
+        Dependence edges come from ``reads`` only, mirroring the
+        pipeline scheduler's last-writer map (a memory base register
+        is an address input, not an issue-time dependence).  A write
+        whose instruction has no live read inputs *kills* the chain
+        through that register (a constant restart), and a later read
+        of it no longer crosses the iteration boundary.
+        """
+        cached = self._dependence_summary
+        if cached is not None:
+            return cached
+        vocabulary: Dict[Tuple[str, InstrClass], int] = {}
+        counts: List[int] = []
+        # rows[reg] = (depth, seed, link) — deepest boundary-rooted
+        # dependence path ending at reg's last write, where link is a
+        # cons-chain of vocabulary ids along the path; _DEAD marks a
+        # killed chain.  seeds[i] names the i-th boundary register.
+        rows: Dict[str, tuple] = {}
+        seeds: List[str] = []
+        for instr in self.loop:
+            key = (instr.group or instr.iclass.value, instr.iclass)
+            gid = vocabulary.get(key)
+            if gid is None:
+                gid = len(counts)
+                vocabulary[key] = gid
+                counts.append(0)
+            counts[gid] += 1
+            best = None
+            for reg in instr.reads:
+                entry = rows.get(reg)
+                if entry is None:
+                    entry = (0, len(seeds), None)
+                    seeds.append(reg)
+                    rows[reg] = entry
+                elif entry is _DEAD:
+                    continue
+                if best is None or entry[0] > best[0]:
+                    best = entry
+            if instr.writes:
+                out = _DEAD if best is None else \
+                    (best[0] + 1, best[1], (gid, best[2]))
+                for reg in instr.writes:
+                    rows[reg] = out
+        # Boundary graph: one edge per seed whose register is written
+        # by a boundary-rooted chain (dst ← src); an untouched seed is
+        # the identity and spans no cycle.
+        predecessor: Dict[int, tuple] = {}
+        for dst, reg in enumerate(seeds):
+            entry = rows[reg]
+            if entry is _DEAD or entry[2] is None:
+                continue
+            predecessor[dst] = (entry[1], entry[2])
+        cycle_counts: List[Tuple[int, ...]] = []
+        cycle_lengths: List[int] = []
+        color = [0] * len(seeds)
+        for start in range(len(seeds)):
+            if color[start]:
+                continue
+            trail: List[int] = []
+            node = start
+            while True:
+                color[node] = 1
+                trail.append(node)
+                edge = predecessor.get(node)
+                if edge is None:
+                    break
+                follow = edge[0]
+                if color[follow] == 1:
+                    members = trail[trail.index(follow):]
+                    vector = [0] * len(counts)
+                    for member in members:
+                        link = predecessor[member][1]
+                        while link is not None:
+                            vector[link[0]] += 1
+                            link = link[1]
+                    cycle_counts.append(tuple(vector))
+                    cycle_lengths.append(len(members))
+                    break
+                if color[follow] == 2:
+                    break
+                node = follow
+            for visited in trail:
+                color[visited] = 2
+        summary = DependenceSummary(
+            group_keys=tuple(vocabulary),
+            group_counts=tuple(counts),
+            loop_length=len(self.loop),
+            cycle_counts=tuple(cycle_counts),
+            cycle_lengths=tuple(cycle_lengths))
+        self._dependence_summary = summary
+        return summary
 
     def class_counts(self) -> Dict[InstrClass, int]:
         counts: Dict[InstrClass, int] = {}

@@ -14,7 +14,9 @@ MicroGrad centralises tuning mechanisms over a fixed evaluation core:
   the strategy registry;
 * strategies: ``genetic`` (the paper's GA, bit-identical to the
   pre-refactor engine), ``random`` (the paper's baseline),
-  ``hill_climb`` and ``simulated_annealing``.
+  ``hill_climb``, ``simulated_annealing`` and ``static_rank`` (a
+  surrogate wrapper pruning any base strategy's offspring by static
+  predicted fitness).
 
 Importing this package registers every built-in operator and strategy.
 """
@@ -28,6 +30,7 @@ from .genetic import GeneticStrategy  # isort:skip — registration order
 from .random_search import RandomStrategy  # isort:skip
 from .hill_climb import HillClimbStrategy  # isort:skip
 from .annealing import SimulatedAnnealingStrategy  # isort:skip
+from .static_rank import StaticRankStrategy  # isort:skip
 from .operators import (CROSSOVER_OPERATORS, MUTATION_OPERATORS,
                         REPLACEMENT_POLICIES, SELECTION_OPERATORS)
 from .registry import Registry, suggest
@@ -38,6 +41,7 @@ __all__ = [
     "REPLACEMENT_POLICIES", "STRATEGIES",
     "SearchStrategy", "GeneticStrategy", "RandomStrategy",
     "HillClimbStrategy", "SimulatedAnnealingStrategy",
+    "StaticRankStrategy",
     "make_strategy",
 ]
 

@@ -1,6 +1,6 @@
 """Static analysis: diagnostics before (and instead of) measurement.
 
-Four passes share one :class:`~repro.staticcheck.diagnostics.Diagnostic`
+Five passes share one :class:`~repro.staticcheck.diagnostics.Diagnostic`
 model:
 
 * :mod:`~repro.staticcheck.dataflow` — def-use analysis over the
@@ -11,6 +11,10 @@ model:
 * :mod:`~repro.staticcheck.configlint` — eager validation of main
   configurations and instruction libraries (``SC2xx``), so a malformed
   operand range fails at load time instead of wasting a search;
+* :mod:`~repro.staticcheck.costmodel` — an llvm-mca-style static cost
+  model pricing the loop body against a microarchitecture's latency,
+  port and energy tables (``SC3xx``), yielding sound IPC bounds and
+  the static fitness proxy the ``static_rank`` search strategy uses;
 * :mod:`~repro.staticcheck.screen` — the engine's pre-measurement
   gate: statically invalid individuals never enter the pipeline model;
 * :mod:`~repro.staticcheck.selflint` — an AST determinism lint over
@@ -23,13 +27,16 @@ CLI entry points: ``gest lint <config>``, ``gest check <source.s>``,
 
 from .configlint import (detect_syntax, lint_config, lint_config_file,
                          lint_library, lint_search, lint_template)
+from .costmodel import (CostModelReport, InstructionCost, INTENT_PORTS,
+                        StaticCostReport, analyze_cost, render_cost_table,
+                        spearman, static_score)
 from .dataflow import (DataflowReport, StaticProfile, analyze_program,
                        DEFAULT_L1_BYTES, DEFAULT_L2_BYTES,
                        DEFAULT_LINE_BYTES)
 from .diagnostics import (CODES, Diagnostic, Location, Severity,
                           diagnostics_to_json, format_diagnostics,
-                          has_errors, make_diagnostic, summarise,
-                          worst_severity)
+                          has_errors, make_diagnostic, sort_diagnostics,
+                          summarise, worst_severity)
 from .screen import ScreenReport, ScreenStats, StaticScreen
 from .selflint import (lint_file, lint_source, lint_tree,
                        repro_package_root)
@@ -37,11 +44,14 @@ from .selflint import (lint_file, lint_source, lint_tree,
 __all__ = [
     "detect_syntax", "lint_config", "lint_config_file", "lint_library",
     "lint_search", "lint_template",
+    "CostModelReport", "InstructionCost", "INTENT_PORTS",
+    "StaticCostReport", "analyze_cost", "render_cost_table", "spearman",
+    "static_score",
     "DataflowReport", "StaticProfile", "analyze_program",
     "DEFAULT_L1_BYTES", "DEFAULT_L2_BYTES", "DEFAULT_LINE_BYTES",
     "CODES", "Diagnostic", "Location", "Severity",
     "diagnostics_to_json", "format_diagnostics", "has_errors",
-    "make_diagnostic", "summarise", "worst_severity",
+    "make_diagnostic", "sort_diagnostics", "summarise", "worst_severity",
     "ScreenReport", "ScreenStats", "StaticScreen",
     "lint_file", "lint_source", "lint_tree", "repro_package_root",
 ]

@@ -13,6 +13,7 @@ Code ranges:
 =========  =======================================================
 ``SC1xx``  program dataflow analysis (:mod:`repro.staticcheck.dataflow`)
 ``SC2xx``  config & instruction-library lint (:mod:`~.configlint`)
+``SC3xx``  static cost model (:mod:`~.costmodel`)
 ``SC4xx``  framework determinism self-lint (:mod:`~.selflint`)
 =========  =======================================================
 
@@ -29,7 +30,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["Severity", "Location", "Diagnostic", "CODES",
            "make_diagnostic", "has_errors", "worst_severity",
-           "diagnostics_to_json", "format_diagnostics", "summarise"]
+           "sort_diagnostics", "diagnostics_to_json",
+           "format_diagnostics", "summarise"]
 
 
 class Severity(enum.IntEnum):
@@ -76,6 +78,13 @@ CODES: Dict[str, tuple] = {
     "SC209": (Severity.ERROR, "unknown GA operator name"),
     "SC210": (Severity.ERROR, "unknown search strategy or invalid "
                               "strategy parameter"),
+    # -- static cost model -----------------------------------------------
+    "SC301": (Severity.WARNING, "serializing loop-carried chain dominates "
+                                "issue width"),
+    "SC302": (Severity.INFO, "structurally idle unit class contradicts "
+                             "the stress intent"),
+    "SC303": (Severity.WARNING, "static bound incompatible with the "
+                                "fitness target"),
     # -- framework determinism self-lint ---------------------------------
     "SC400": (Severity.ERROR, "framework source does not parse"),
     "SC401": (Severity.ERROR, "unseeded module-level random.* call"),
@@ -174,6 +183,22 @@ def worst_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
         if worst is None or diag.severity > worst:
             worst = diag.severity
     return worst
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Stable order by (file, code, location) for CI-diffable output.
+
+    Passes emit diagnostics in discovery order, which can depend on
+    dict iteration internals or pass sequencing; golden tests and
+    ``--json`` consumers want one canonical order instead.
+    """
+    def key(diag: Diagnostic):
+        loc = diag.location
+        return (loc.file or "", diag.code,
+                loc.line if loc.line is not None else -1,
+                loc.index if loc.index is not None else -1,
+                loc.instruction or "", loc.operand or "", diag.message)
+    return sorted(diagnostics, key=key)
 
 
 def summarise(diagnostics: Sequence[Diagnostic]) -> str:

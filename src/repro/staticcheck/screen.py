@@ -35,7 +35,8 @@ from typing import List, Optional
 
 from ..core.errors import AssemblyError
 from ..isa.assembler import BaseAssembler
-from .dataflow import StaticProfile, analyze_program
+from .costmodel import StaticCostReport, analyze_cost
+from .dataflow import (DEFAULT_LINE_BYTES, StaticProfile, analyze_program)
 from .diagnostics import Diagnostic, Severity, make_diagnostic
 
 __all__ = ["ScreenReport", "ScreenStats", "StaticScreen"]
@@ -57,6 +58,11 @@ class ScreenReport:
     #: is off, assembly failed, or no recurrence was found.
     detected_prefix: Optional[int] = None
     detected_period: Optional[int] = None
+    #: Static cost report, when the screen runs in static-rank mode
+    #: (built with ``arch=...``) and the program assembled.  The
+    #: ``static_rank`` strategy reads ``cost.predicted_metric(...)``
+    #: to order candidates before simulation.
+    cost: Optional[StaticCostReport] = None
 
 
 @dataclass
@@ -97,21 +103,51 @@ class StaticScreen:
     probe_cycles:
         Cycle budget handed to the probe (default 1600, the stock
         ``sim_cycles``).
+    arch:
+        Optional :class:`~repro.cpu.microarch.MicroArch`.  When given,
+        the screen runs in *static-rank mode*: programs that assemble
+        also get the static cost model pass and the report lands on
+        :attr:`ScreenReport.cost` — the strategy-facing fitness proxy.
+    intent:
+        Fitness metric name forwarded to the cost model so SC302/SC303
+        can fire during screening (static-rank mode only).
     """
 
     def __init__(self, assembler: BaseAssembler,
                  fail_severity: Severity = Severity.ERROR,
                  l1_bytes: Optional[int] = None,
                  l2_bytes: Optional[int] = None,
+                 line_bytes: int = DEFAULT_LINE_BYTES,
                  period_probe=None,
-                 probe_cycles: int = 1600) -> None:
+                 probe_cycles: int = 1600,
+                 arch=None,
+                 intent: Optional[str] = None) -> None:
         self.assembler = assembler
         self.fail_severity = fail_severity
         self.l1_bytes = l1_bytes
         self.l2_bytes = l2_bytes
+        self.line_bytes = line_bytes
         self.period_probe = period_probe
         self.probe_cycles = probe_cycles
+        self.arch = arch
+        self.intent = intent
         self.stats = ScreenStats()
+
+    @classmethod
+    def for_machine(cls, machine, **kwargs) -> "StaticScreen":
+        """A screen whose syntax *and* cache geometry match ``machine``.
+
+        Threads the machine's configured hierarchy through to the
+        footprint bound, so SC104 compares against the cache sizes the
+        simulation actually uses instead of the stock defaults.
+        Additional keyword arguments pass through to the constructor.
+        """
+        hierarchy = getattr(machine, "hierarchy", None)
+        if hierarchy is not None:
+            kwargs.setdefault("l1_bytes", hierarchy.l1_config.size_bytes)
+            kwargs.setdefault("l2_bytes", hierarchy.l2_config.size_bytes)
+            kwargs.setdefault("line_bytes", hierarchy.l1_config.line_bytes)
+        return cls(machine.assembler, **kwargs)
 
     def screen(self, source_text: str, individual=None) -> ScreenReport:
         """Screen one rendered source; never raises on bad programs."""
@@ -128,15 +164,29 @@ class StaticScreen:
             return ScreenReport(passed=False, assembly_failed=True,
                                 diagnostics=[diagnostic])
 
-        report = analyze_program(program, l1_bytes=self.l1_bytes,
-                                 l2_bytes=self.l2_bytes, source_file=name)
-        failing = [d for d in report.diagnostics
+        if self.arch is not None:
+            cost_report = analyze_cost(
+                program, self.arch, l1_bytes=self.l1_bytes,
+                l2_bytes=self.l2_bytes, line_bytes=self.line_bytes,
+                source_file=name, intent=self.intent)
+            diagnostics = cost_report.diagnostics
+            profile: StaticProfile = cost_report.cost
+            cost: Optional[StaticCostReport] = cost_report.cost
+        else:
+            report = analyze_program(program, l1_bytes=self.l1_bytes,
+                                     l2_bytes=self.l2_bytes,
+                                     line_bytes=self.line_bytes,
+                                     source_file=name)
+            diagnostics = report.diagnostics
+            profile = report.profile
+            cost = None
+        failing = [d for d in diagnostics
                    if d.severity >= self.fail_severity]
         if failing:
             self.stats.dataflow_failures += 1
             return ScreenReport(passed=False, assembly_failed=False,
-                                diagnostics=report.diagnostics,
-                                profile=report.profile)
+                                diagnostics=diagnostics,
+                                profile=profile, cost=cost)
         self.stats.passed += 1
         prefix = period = None
         if self.period_probe is not None:
@@ -145,7 +195,8 @@ class StaticScreen:
             if kernel is not None:
                 prefix, period = kernel
         return ScreenReport(passed=True, assembly_failed=False,
-                            diagnostics=report.diagnostics,
-                            profile=report.profile,
+                            diagnostics=diagnostics,
+                            profile=profile,
                             detected_prefix=prefix,
-                            detected_period=period)
+                            detected_period=period,
+                            cost=cost)

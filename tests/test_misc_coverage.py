@@ -88,7 +88,8 @@ class TestCliParser:
         actions = {a.dest: a for a in parser._actions}
         sub = actions["command"]
         assert set(sub.choices) == {"run", "measure", "lint", "check",
-                                    "selfcheck", "stats", "presets"}
+                                    "analyze", "selfcheck", "stats",
+                                    "presets"}
 
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "c.xml"])
