@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of GeST-as-a-service.
+
+Boots the full service stack in one process: writes a tiny stock
+configuration bundle, submits two identical runs to a fresh sqlite
+result store, drains them through an :class:`~repro.service.Orchestrator`
+with two concurrent worker slots sharing one
+:class:`~repro.store.SharedEvaluationCache`, and verifies
+
+* both runs finish with **exactly** the best fitness a direct
+  ``gest run`` of the same configuration produces (concurrency and the
+  shared cache are observationally invisible),
+* the shared cache recorded activity for each run and deduplicated
+  entries across them,
+* the store ledger is coherent (per-generation rows, winner source,
+  event stream ending in ``run_finished``).
+
+Exits non-zero on any mismatch; CI runs this as the service leg.
+
+Usage: PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis.postprocess import run_statistics
+from repro.cli import main as gest
+from repro.isa.catalogs import write_stock_config
+from repro.core.config import parse_config_file
+from repro.service import Orchestrator
+from repro.store import RunStore
+
+PLATFORM = "xgene2"
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def run(workdir: Path) -> None:
+    bundle = write_stock_config(workdir / "bundle", isa="arm",
+                                metric="ipc", population_size=6,
+                                individual_size=10, generations=3,
+                                seed=11)
+
+    print("== direct gest run (reference)")
+    direct_results = workdir / "direct"
+    rc = gest(["run", str(bundle), "--platform", PLATFORM,
+               "--results", str(direct_results), "--quiet"])
+    if rc != 0:
+        fail(f"direct run exited {rc}")
+    direct_best = run_statistics(direct_results).overall_best_fitness
+    print(f"direct best fitness: {direct_best:.4f}")
+
+    print("== submit two runs, serve with two concurrent slots")
+    store_path = workdir / "gest.sqlite"
+    config = parse_config_file(bundle)
+    with RunStore(store_path) as store:
+        submitted = [store.submit_run(config, platform=PLATFORM)
+                     for _ in range(2)]
+    orchestrator = Orchestrator(store_path, workers=2,
+                                workdir=workdir / "service-results")
+    completed = orchestrator.serve_until_idle()
+    if sorted(completed) != sorted(submitted):
+        fail(f"served {completed}, submitted {submitted}")
+
+    print("== verify stored results against the direct run")
+    with RunStore(store_path) as store:
+        total_hits = 0
+        for run_id in submitted:
+            row = store.get_run(run_id)
+            if row.status != "finished":
+                fail(f"{run_id} ended {row.status}: {row.error}")
+            if row.best_fitness != direct_best:
+                fail(f"{run_id} best {row.best_fitness} != direct "
+                     f"{direct_best}")
+            winner = store.winner(run_id)
+            if winner is None or winner["fitness"] != direct_best:
+                fail(f"{run_id} winner row disagrees with ledger")
+            if not winner["source"].strip():
+                fail(f"{run_id} winner has no source")
+            numbers = [g["number"] for g in store.generations(run_id)]
+            if numbers != [0, 1, 2]:
+                fail(f"{run_id} generation rows {numbers}")
+            kinds = [kind for _, kind, _ in store.events(run_id)]
+            if kinds[0] != "run_started" or kinds[-1] != "run_finished":
+                fail(f"{run_id} event stream {kinds[:3]}...{kinds[-1:]}")
+            hits, misses = store.cache_activity(run_id)
+            if hits + misses == 0:
+                fail(f"{run_id} recorded no cache activity")
+            print(f"{run_id}: best {row.best_fitness:.4f}, "
+                  f"cache {hits} hit(s) / {misses} miss(es)")
+            total_hits += hits
+        if total_hits == 0:
+            fail("shared cache produced no hits across the two runs")
+
+    print("OK: concurrent service runs match the direct run exactly")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="gest-service-smoke-") as tmp:
+        run(Path(tmp))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

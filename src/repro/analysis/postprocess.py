@@ -16,6 +16,7 @@ from typing import Dict, List, Union
 
 from ..core.errors import ConfigError
 from ..core.individual import Individual
+from ..core.output import read_stats
 from ..core.population import Population, load_population
 from .instruction_mix import mix_of_individual
 
@@ -33,6 +34,11 @@ class RunStatistics:
         default_factory=list)
     overall_best_fitness: float = 0.0
     overall_best_generation: int = -1
+    #: The run's ``stats.jsonl`` records, when present — read
+    #: tolerantly: unknown keys (newer schema versions) pass through
+    #: untouched and unparseable lines are skipped, so post-processing
+    #: keeps working across schema evolution and torn writes.
+    stats_records: List[dict] = field(default_factory=list)
 
     def improvement(self) -> float:
         """Final best over initial best (1.0 = no improvement)."""
@@ -61,6 +67,9 @@ def run_statistics(results_dir: Union[str, Path]) -> RunStatistics:
     fitness and fittest-individual instruction mix."""
     populations = load_run(results_dir)
     stats = RunStatistics(generations=len(populations))
+    stats_path = Path(results_dir) / "stats.jsonl"
+    if stats_path.exists():
+        stats.stats_records = list(read_stats(stats_path))
     for population in populations:
         best: Individual = population.fittest()
         stats.best_fitness_per_generation.append(best.fitness or 0.0)

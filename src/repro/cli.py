@@ -14,10 +14,20 @@ reproduction mirrors that::
     gest selfcheck [--json]
     gest stats results_dir/
     gest presets
+    gest serve [--db FILE] [--workers N] [--until-idle]
+    gest submit config.xml [--db FILE] [--platform NAME]
+                           [--strategy NAME] [--seed N] [--generations N]
+    gest runs [--db FILE] [--status STATUS]
+    gest tail run-id [--db FILE] [--follow]
 
 ``run`` executes a GA search described by a main configuration file
 against a simulated platform, recording outputs per the paper's
-conventions.  ``measure`` runs one source file (e.g. a recorded
+conventions.  The last four subcommands are GeST-as-a-service:
+``submit`` enqueues a run into a sqlite result store
+(:mod:`repro.store`), ``serve`` starts the asyncio orchestrator
+(:mod:`repro.service`) that executes queued runs on concurrent worker
+slots sharing one evaluation cache, ``runs`` lists the ledger and
+``tail`` streams a run's generation events as JSONL.  ``measure`` runs one source file (e.g. a recorded
 individual) and prints every sensor — the quick way to re-score a
 saved virus.  ``lint`` runs the static config/library checks of
 :mod:`repro.staticcheck` (also run eagerly by ``run``); ``check``
@@ -160,6 +170,63 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("results_dir", type=Path)
 
     sub.add_parser("presets", help="list simulated platforms")
+
+    db_help = "sqlite result store (default: gest.sqlite)"
+
+    serve = sub.add_parser(
+        "serve", help="run the orchestrator: execute queued runs on "
+                      "concurrent worker slots sharing one store")
+    serve.add_argument("--db", type=Path, default=Path("gest.sqlite"),
+                       help=db_help)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent run slots")
+    serve.add_argument("--queue-size", type=int, default=8,
+                       help="bound on claimed-but-unstarted runs")
+    serve.add_argument("--workdir", type=Path, default=None,
+                       help="also record each run's results directory "
+                            "under <workdir>/<run-id>/")
+    serve.add_argument("--eval-workers", type=int, default=1,
+                       help="evaluation worker processes per run")
+    serve.add_argument("--until-idle", action="store_true",
+                       help="exit once the queue is drained instead of "
+                            "serving forever")
+
+    submit = sub.add_parser(
+        "submit", help="enqueue a run into the result store")
+    submit.add_argument("config", type=Path, help="main configuration XML")
+    submit.add_argument("--db", type=Path, default=Path("gest.sqlite"),
+                        help=db_help)
+    submit.add_argument("--platform", default="cortex_a15",
+                        choices=preset_names(),
+                        help="simulated target platform")
+    submit.add_argument("--strategy", default=None,
+                        choices=STRATEGIES.names(),
+                        help="search strategy (default: the config's)")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="override the configured GA seed")
+    submit.add_argument("--generations", type=int, default=None,
+                        help="override the configured generation count")
+    submit.add_argument("--no-lint", action="store_true",
+                        help="skip the eager config lint")
+
+    runs = sub.add_parser("runs", help="list the result store's runs")
+    runs.add_argument("--db", type=Path, default=Path("gest.sqlite"),
+                      help=db_help)
+    runs.add_argument("--status", default=None,
+                      choices=("queued", "running", "finished", "failed",
+                               "cancelled"),
+                      help="only runs in this state")
+
+    tail = sub.add_parser(
+        "tail", help="stream a run's events from the store as JSONL")
+    tail.add_argument("run_id", help="run id as printed by submit/runs")
+    tail.add_argument("--db", type=Path, default=Path("gest.sqlite"),
+                      help=db_help)
+    tail.add_argument("--follow", action="store_true",
+                      help="keep polling until the run reaches a "
+                           "terminal state")
+    tail.add_argument("--poll-interval", type=float, default=0.5,
+                      help="seconds between polls with --follow")
     return parser
 
 
@@ -397,6 +464,116 @@ def _command_stats(args: argparse.Namespace) -> int:
     for category, count in sorted(final_mix.items()):
         if count:
             print(f"  {category:12s} {count}")
+    # stats.jsonl is optional and versioned: read it tolerantly —
+    # unknown keys from newer schemas pass through, unparseable lines
+    # (a killed run's torn write under the old appender) are skipped.
+    records = stats.stats_records
+    if records:
+        cache_hits = sum(int(r.get("cache_hits", 0)) for r in records)
+        measured = sum(int(r.get("measured", 0)) for r in records)
+        run_ids = sorted({r["run_id"] for r in records if "run_id" in r})
+        schemas = sorted({r["schema"] for r in records if "schema" in r})
+        line = (f"stats.jsonl: {len(records)} record(s), "
+                f"{measured} measured, {cache_hits} cache hit(s)")
+        if run_ids:
+            line += f", run {', '.join(str(r) for r in run_ids)}"
+        if schemas:
+            line += f" (schema {', '.join(str(s) for s in schemas)})"
+        print(line)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import Orchestrator
+    orchestrator = Orchestrator(args.db, workers=args.workers,
+                                queue_limit=args.queue_size,
+                                workdir=args.workdir,
+                                evaluation_workers=args.eval_workers)
+    mode = "until idle" if args.until_idle else "until interrupted"
+    print(f"serving {args.db} with {args.workers} worker slot(s) {mode}")
+    try:
+        completed = asyncio.run(orchestrator.serve(
+            until_idle=args.until_idle))
+    except KeyboardInterrupt:
+        print("interrupted; claimed runs resume on the next serve")
+        return 0
+    print(f"executed {len(completed)} run(s)")
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from .store import RunStore
+    config = parse_config_file(args.config)
+    if not args.no_lint:
+        diagnostics = lint_config(config, file=str(args.config))
+        if has_errors(diagnostics):
+            for diag in diagnostics:
+                print(diag.format(), file=sys.stderr)
+            print(f"error: configuration {args.config} failed the static "
+                  "lint; fix the diagnostics above or re-run with "
+                  "--no-lint", file=sys.stderr)
+            return 1
+    with RunStore(args.db) as store:
+        run_id = store.submit_run(config, platform=args.platform,
+                                  strategy=args.strategy, seed=args.seed,
+                                  generations=args.generations)
+    print(run_id)
+    return 0
+
+
+def _command_runs(args: argparse.Namespace) -> int:
+    from .store import RunStore
+    if not args.db.exists():
+        print(f"error: result store {args.db} does not exist",
+              file=sys.stderr)
+        return 1
+    with RunStore(args.db) as store:
+        rows = store.list_runs(status=args.status)
+    if not rows:
+        print("no runs" + (f" with status {args.status}" if args.status
+                           else ""))
+        return 0
+    print(f"{'RUN':<12} {'STATUS':<10} {'PLATFORM':<12} {'STRATEGY':<12} "
+          f"{'SEED':>6} {'GENS':>5} {'BEST':>10}")
+    for row in rows:
+        best = f"{row.best_fitness:.4f}" if row.best_fitness is not None \
+            else "-"
+        print(f"{row.run_id:<12} {row.status:<10} {row.platform:<12} "
+              f"{row.strategy or 'config':<12} "
+              f"{row.seed if row.seed is not None else '-':>6} "
+              f"{row.generations if row.generations is not None else '-':>5}"
+              f" {best:>10}")
+    return 0
+
+
+def _command_tail(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .store import RunStore
+    if not args.db.exists():
+        print(f"error: result store {args.db} does not exist",
+              file=sys.stderr)
+        return 1
+    terminal = {"finished", "failed", "cancelled"}
+    with RunStore(args.db) as store:
+        run = store.get_run(args.run_id)  # loud error for unknown ids
+        last_seq = -1
+        while True:
+            for seq, event_type, payload in store.events(
+                    args.run_id, after_seq=last_seq):
+                last_seq = seq
+                print(json.dumps({"seq": seq, "event": event_type,
+                                  **payload}, sort_keys=True))
+            run = store.get_run(args.run_id)
+            if not args.follow or run.status in terminal:
+                break
+            time.sleep(args.poll_interval)
+    if run.status == "failed":
+        print(f"error: {args.run_id} failed: {run.error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -430,6 +607,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_stats(args)
         if args.command == "presets":
             return _command_presets()
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "submit":
+            return _command_submit(args)
+        if args.command == "runs":
+            return _command_runs(args)
+        if args.command == "tail":
+            return _command_tail(args)
     except GestError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -11,17 +11,22 @@ Public surface re-exported here:
 from .config import (EvaluationParameters, GAParameters, RunConfig,
                      SearchParameters, config_to_xml, parse_config_file,
                      parse_config_text, parse_measurement_config)
-from .engine import GenerationStats, GeneticEngine, RunHistory
+from .engine import (GenerationStats, GeneticEngine, RunHistory,
+                     derive_run_id)
 from .errors import (AssemblyError, ConfigError, GestError, LoaderError,
                      MeasurementError, SimulationError, TargetError,
                      TemplateError)
+from .events import (STATS_SCHEMA_VERSION, CheckpointWritten,
+                     GenerationCompleted, IndividualEvaluated, RecorderSet,
+                     RunEvent, RunFinished, RunRecorder, RunStarted)
 from .individual import Individual, random_individual
 from .instruction import ConcreteInstruction, InstructionLibrary, InstructionSpec
 from .loader import instantiate, load_class
 from .operand import ImmediateOperand, LabelOperand, Operand, RegisterOperand
 from .operators import (CROSSOVER_OPERATORS, mutate, one_point_crossover,
                         tournament_select, uniform_crossover)
-from .output import OutputRecorder, individual_filename
+from .output import (FileRecorder, OutputRecorder, individual_filename,
+                     read_stats)
 from .population import Population, load_population
 from .rng import make_rng, spawn
 from .template import LOOP_MARKER, Template
@@ -30,16 +35,19 @@ __all__ = [
     "EvaluationParameters", "GAParameters", "RunConfig", "SearchParameters",
     "config_to_xml",
     "parse_config_file", "parse_config_text", "parse_measurement_config",
-    "GenerationStats", "GeneticEngine", "RunHistory",
+    "GenerationStats", "GeneticEngine", "RunHistory", "derive_run_id",
     "AssemblyError", "ConfigError", "GestError", "LoaderError",
     "MeasurementError", "SimulationError", "TargetError", "TemplateError",
+    "STATS_SCHEMA_VERSION", "CheckpointWritten", "GenerationCompleted",
+    "IndividualEvaluated", "RecorderSet", "RunEvent", "RunFinished",
+    "RunRecorder", "RunStarted",
     "Individual", "random_individual",
     "ConcreteInstruction", "InstructionLibrary", "InstructionSpec",
     "instantiate", "load_class",
     "ImmediateOperand", "LabelOperand", "Operand", "RegisterOperand",
     "CROSSOVER_OPERATORS", "mutate", "one_point_crossover",
     "tournament_select", "uniform_crossover",
-    "OutputRecorder", "individual_filename",
+    "FileRecorder", "OutputRecorder", "individual_filename", "read_stats",
     "Population", "load_population",
     "make_rng", "spawn",
     "LOOP_MARKER", "Template",

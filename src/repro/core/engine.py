@@ -28,12 +28,13 @@ never wins a tournament.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from random import Random
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from ..evaluation.backends import ExecutorBackend, ProcessPoolBackend, \
     SerialBackend
@@ -43,17 +44,19 @@ from ..evaluation.pipeline import (EvaluationPipeline, FitnessProtocol,
                                    MeasurementProtocol, ScreenProtocol,
                                    ScreenReportProtocol, StageTimings)
 from ..search import SearchStrategy, make_strategy
-from .config import RunConfig
+from .config import RunConfig, config_to_xml
 from .errors import ConfigError
+from .events import (STATS_SCHEMA_VERSION, CheckpointWritten,
+                     GenerationCompleted, IndividualEvaluated, RunEvent,
+                     RunFinished, RunRecorder, RunStarted, as_recorders)
 from .individual import Individual
-from .output import OutputRecorder
 from .population import Population
 from .rng import make_rng
 from .template import Template
 
 __all__ = ["MeasurementProtocol", "FitnessProtocol", "ScreenProtocol",
            "ScreenReportProtocol", "GenerationStats", "RunHistory",
-           "GeneticEngine", "WORKERS_ENV_VAR"]
+           "GeneticEngine", "WORKERS_ENV_VAR", "derive_run_id"]
 
 #: Environment override for the evaluation worker count (CI runs the
 #: suite under a 2-worker backend this way).  Explicit ``backend`` or
@@ -114,12 +117,37 @@ class RunHistory:
     generations: List[GenerationStats] = field(default_factory=list)
     final_population: Optional[Population] = None
     best_individual: Optional[Individual] = None
+    #: Which run produced this history (stable content-derived id, or
+    #: the id a service assigned at submission).
+    run_id: Optional[str] = None
+    #: True when the run stopped early through a ``stop_check`` hook
+    #: (graceful service cancellation) rather than finishing all
+    #: requested generations.
+    cancelled: bool = False
 
     def best_fitness_series(self) -> List[float]:
         return [g.best_fitness for g in self.generations]
 
     def mean_fitness_series(self) -> List[float]:
         return [g.mean_fitness for g in self.generations]
+
+
+def derive_run_id(config: RunConfig, strategy_name: str) -> str:
+    """A stable, content-derived run identifier.
+
+    Hashes the serialized configuration and the strategy name, so the
+    same search is the same run id on every machine and every replay —
+    no wall clock, no hostname.  Services that need *distinct* ids for
+    repeated submissions of one config assign their own
+    (:meth:`repro.store.RunStore.submit_run`) and pass it to the engine
+    instead.
+    """
+    digest = hashlib.sha256()
+    digest.update(config_to_xml(config, template_filename="template.s",
+                                results_dir="results").encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(strategy_name.encode("utf-8"))
+    return "run-" + digest.hexdigest()[:12]
 
 
 def _workers_from_environment() -> Optional[int]:
@@ -149,10 +177,14 @@ class GeneticEngine:
         missing either fails here, at construction, rather than
         silently measuring single-shot.
     recorder:
-        Optional :class:`OutputRecorder`; when given, every individual
-        source file and every generation binary is persisted per the
-        paper's output conventions, along with per-generation
-        evaluation statistics.
+        Optional :class:`~repro.core.events.RunRecorder` — or a
+        sequence of them — subscribed to the engine's event stream
+        (run_started, individual_evaluated, generation_completed,
+        checkpoint_written, run_finished).  A
+        :class:`~repro.core.output.FileRecorder` here reproduces the
+        paper's results-directory layout; a
+        :class:`~repro.store.StoreRecorder` persists the run into the
+        sqlite result store; both at once tee the stream.
     rng:
         Optional explicit random stream; defaults to one seeded from
         ``config.ga.seed``.
@@ -186,25 +218,31 @@ class GeneticEngine:
         ``genetic`` — the paper's GA).  A name matching the config's
         strategy picks up the config's strategy parameters; a different
         name runs with that strategy's defaults.
+    run_id:
+        Explicit run identity stamped into every stats record and
+        event; defaults to the content-derived :func:`derive_run_id`.
     """
 
     def __init__(self, config: RunConfig,
                  measurement: MeasurementProtocol,
                  fitness: FitnessProtocol,
-                 recorder: Optional[OutputRecorder] = None,
+                 recorder: Union[None, RunRecorder,
+                                 Sequence[RunRecorder]] = None,
                  rng: Optional[Random] = None,
                  checkpoint_path: Optional[Union[str, Path]] = None,
                  screen: Optional[ScreenProtocol] = None,
                  backend: Optional[ExecutorBackend] = None,
                  cache: Optional[EvaluationCache] = None,
                  workers: Optional[int] = None,
-                 strategy: Optional[Union[str, SearchStrategy]] = None
+                 strategy: Optional[Union[str, SearchStrategy]] = None,
+                 run_id: Optional[str] = None
                  ) -> None:
         config.validate()
         self.config = config
         self.measurement = measurement
         self.fitness = fitness
-        self.recorder = recorder
+        self.recorders = as_recorders(recorder)
+        self.recorder = self.recorders[0] if self.recorders else None
         self.rng = rng if rng is not None else make_rng(config.ga.seed)
         self.screen = screen
         self.template = Template(config.template_text)
@@ -240,8 +278,8 @@ class GeneticEngine:
             cache = EvaluationCache(self._cache_fingerprint(pipeline))
         self.evaluator = StagedEvaluator(pipeline, backend=backend,
                                          cache=cache)
-        if recorder is not None:
-            recorder.record_provenance(config)
+        self.run_id = run_id if run_id is not None \
+            else derive_run_id(config, self.strategy.name)
 
     def _cache_fingerprint(self, pipeline: EvaluationPipeline) -> str:
         fingerprint = getattr(self.measurement, "fingerprint", None)
@@ -252,15 +290,28 @@ class GeneticEngine:
 
     # -- public API ---------------------------------------------------------
 
-    def run(self, generations: Optional[int] = None) -> RunHistory:
+    def run(self, generations: Optional[int] = None,
+            stop_check: Optional[Callable[[], bool]] = None) -> RunHistory:
         """Execute the search for ``generations`` (default: config
-        value)."""
+        value).
+
+        ``stop_check`` is polled between generations; returning True
+        stops the run gracefully after the current generation is fully
+        recorded and checkpointed (``history.cancelled`` is set).  The
+        service layer uses it for cooperative cancellation — a
+        cancelled run resumes later from its checkpoint.
+        """
         total = generations if generations is not None \
             else self.config.ga.generations
         if total < 1:
             raise ConfigError("generations must be >= 1")
 
-        history = RunHistory()
+        history = RunHistory(run_id=self.run_id)
+        resumed = self._resume_state is not None
+        self._emit(RunStarted(
+            run_id=self.run_id, config=self.config,
+            strategy=self.strategy.name, seed=self.config.ga.seed,
+            resumed=resumed))
         if self._resume_state is not None:
             state = self._resume_state
             self._resume_state = None
@@ -299,6 +350,9 @@ class GeneticEngine:
                 self.strategy.observe(population)
                 self._record_generation(population, history)
                 if number < total - 1:
+                    if stop_check is not None and stop_check():
+                        history.cancelled = True
+                        break
                     population = self.strategy.next_population(
                         population, number + 1)
         finally:
@@ -306,6 +360,10 @@ class GeneticEngine:
 
         history.final_population = population
         history.best_individual = self._best
+        self._emit(RunFinished(
+            run_id=self.run_id, best=self._best,
+            generations=len(history.generations),
+            cancelled=history.cancelled))
         return history
 
     def render_source(self, individual: Individual) -> str:
@@ -325,8 +383,9 @@ class GeneticEngine:
                 result.measurements, result.fitness,
                 compile_failed=result.compile_failed,
                 screen_failed=result.screen_failed)
-            if self.recorder is not None:
-                self.recorder.record_individual(individual, result.source)
+            self._emit(IndividualEvaluated(
+                run_id=self.run_id, individual=individual,
+                source=result.source))
             self._update_best(individual)
         if outcome.error is not None:
             # Persist what this generation has produced so far — an
@@ -337,6 +396,10 @@ class GeneticEngine:
             raise outcome.error
 
     # -- bookkeeping -----------------------------------------------------------
+
+    def _emit(self, event: RunEvent) -> None:
+        for recorder in self.recorders:
+            recorder.handle(event)
 
     def _take_uid(self) -> int:
         uid = self._next_uid
@@ -372,12 +435,16 @@ class GeneticEngine:
             "rng_state": self.rng.getstate(),
             "strategy": self.strategy.name,
             "strategy_state": self.strategy.state_dict(),
+            "run_id": self.run_id,
         }
         self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
         temp = self.checkpoint_path.with_suffix(".tmp")
         with open(temp, "wb") as handle:
             pickle.dump(payload, handle, protocol=4)
         temp.replace(self.checkpoint_path)
+        self._emit(CheckpointWritten(
+            run_id=self.run_id, path=self.checkpoint_path,
+            generation=population.number))
         return self.checkpoint_path
 
     @classmethod
@@ -385,12 +452,14 @@ class GeneticEngine:
                measurement: MeasurementProtocol,
                fitness: FitnessProtocol,
                checkpoint_path: Union[str, Path],
-               recorder: Optional[OutputRecorder] = None,
+               recorder: Union[None, RunRecorder,
+                               Sequence[RunRecorder]] = None,
                screen: Optional[ScreenProtocol] = None,
                backend: Optional[ExecutorBackend] = None,
                cache: Optional[EvaluationCache] = None,
                workers: Optional[int] = None,
-               strategy: Optional[Union[str, SearchStrategy]] = None
+               strategy: Optional[Union[str, SearchStrategy]] = None,
+               run_id: Optional[str] = None
                ) -> "GeneticEngine":
         """Rebuild an engine from a checkpoint file.
 
@@ -434,10 +503,15 @@ class GeneticEngine:
                 f"{version!r}; this build reads versions 1 (migrated "
                 "to the genetic strategy) and 2 — re-run the search or "
                 "convert the checkpoint with the writing version")
+        if run_id is None:
+            # A checkpoint written by this build remembers its run
+            # identity; adopt it so the resumed half of the run lands
+            # under the same id in stores and stats records.
+            run_id = payload.get("run_id")
         engine = cls(config, measurement, fitness, recorder=recorder,
                      checkpoint_path=checkpoint_path, screen=screen,
                      backend=backend, cache=cache, workers=workers,
-                     strategy=strategy)
+                     strategy=strategy, run_id=run_id)
         saved_strategy = payload.get("strategy")
         if saved_strategy != engine.strategy.name:
             raise ConfigError(
@@ -476,8 +550,9 @@ class GeneticEngine:
             stats.compile_cache_misses = outcome.compile_cache_misses
             stats.timings = outcome.timings
         history.generations.append(stats)
-        if self.recorder is not None:
-            self.recorder.record_population(population)
-            self.recorder.record_stats(asdict(stats))
+        record = {"schema": STATS_SCHEMA_VERSION, "run_id": self.run_id,
+                  **asdict(stats)}
+        self._emit(GenerationCompleted(
+            run_id=self.run_id, population=population, stats=record))
         if self.checkpoint_path is not None:
             self.save_checkpoint(population)

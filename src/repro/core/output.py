@@ -11,19 +11,32 @@ the fittest individual with basic UNIX commands.
 Each generation is additionally pickled as a population binary
 (:mod:`repro.core.population`), and the run directory keeps
 record-keeping copies of the configuration and template.
+
+:class:`FileRecorder` is this layout expressed as one
+:class:`~repro.core.events.RunRecorder` subscriber: the engine emits
+typed events, and this recorder turns them into exactly the directory
+tree the pre-event-stream engine wrote.  The low-level ``record_*``
+methods remain public — post-processing tools and tests drive them
+directly — and the historical name :class:`OutputRecorder` is an alias
+for :class:`FileRecorder`.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Iterator, List, Optional, Union
 
 from .config import RunConfig, config_to_xml
+from .events import (GenerationCompleted, IndividualEvaluated, RunRecorder,
+                     RunStarted)
 from .individual import Individual
 from .population import Population
 
-__all__ = ["OutputRecorder", "individual_filename"]
+__all__ = ["FileRecorder", "OutputRecorder", "individual_filename",
+           "read_stats"]
 
 
 def individual_filename(individual: Individual) -> str:
@@ -33,7 +46,34 @@ def individual_filename(individual: Individual) -> str:
     return "_".join(parts) + ".txt"
 
 
-class OutputRecorder:
+def read_stats(path: Union[str, Path]) -> Iterator[dict]:
+    """Yield the parseable records of a ``stats.jsonl`` file, in order.
+
+    Tolerant by design: a half-written trailing line (killed run), a
+    corrupt line, or records carrying unknown keys from a newer schema
+    are all survivable — unparseable lines are skipped with a warning
+    instead of aborting post-processing, and records pass through with
+    whatever keys they have.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                warnings.warn(
+                    f"{path}:{number}: skipping unparseable stats record "
+                    "(half-written line from an interrupted run?)",
+                    RuntimeWarning, stacklevel=2)
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+class FileRecorder(RunRecorder):
     """Persists a GA run to a results directory.
 
     Layout::
@@ -41,8 +81,14 @@ class OutputRecorder:
         <results_dir>/
           config.xml          copy of the run configuration
           template.s          copy of the template source
+          stats.jsonl         one record per generation
           individuals/        one source file per evaluated individual
           populations/        one binary per generation
+
+    As an event subscriber it maps ``run_started`` → provenance,
+    ``individual_evaluated`` → source file, ``generation_completed`` →
+    population binary + stats line, which is byte-for-byte the order
+    and content the pre-event engine produced.
     """
 
     def __init__(self, results_dir: Union[str, Path]) -> None:
@@ -52,6 +98,20 @@ class OutputRecorder:
         for directory in (self.results_dir, self.individuals_dir,
                           self.populations_dir):
             directory.mkdir(parents=True, exist_ok=True)
+
+    # -- event hooks --------------------------------------------------------
+
+    def on_run_started(self, event: RunStarted) -> None:
+        self.record_provenance(event.config)
+
+    def on_individual_evaluated(self, event: IndividualEvaluated) -> None:
+        self.record_individual(event.individual, event.source)
+
+    def on_generation_completed(self, event: GenerationCompleted) -> None:
+        self.record_population(event.population)
+        self.record_stats(event.stats)
+
+    # -- low-level writers --------------------------------------------------
 
     def record_provenance(self, config: RunConfig) -> None:
         """Save the configuration and template used for the run."""
@@ -68,15 +128,30 @@ class OutputRecorder:
         return path
 
     def record_stats(self, stats: dict) -> Path:
-        """Append one generation's evaluation statistics to
-        ``stats.jsonl`` — one JSON object per line, in generation order,
-        covering fitness summary, failure counts, cache hits and the
-        per-stage evaluation wall-time.
+        """Append one generation's statistics to ``stats.jsonl``.
+
+        The whole record — one JSON object plus its newline — goes down
+        in a single ``os.write`` on an ``O_APPEND`` descriptor, so a
+        run killed mid-append never leaves a *half*-written line for
+        the next reader to choke on: either the line is complete or it
+        is absent (POSIX appends of one ``write`` call do not
+        interleave).
         """
         path = self.results_dir / "stats.jsonl"
-        with open(path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(stats, sort_keys=True) + "\n")
+        line = (json.dumps(stats, sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
         return path
+
+    def read_stats(self) -> List[dict]:
+        """The recorded stats records (see module-level ``read_stats``)."""
+        path = self.results_dir / "stats.jsonl"
+        if not path.exists():
+            return []
+        return list(read_stats(path))
 
     def record_population(self, population: Population) -> Path:
         """Pickle one generation."""
@@ -106,3 +181,7 @@ class OutputRecorder:
                 best_score = score
                 best_path = path
         return best_path
+
+
+#: Historical name — the recorder predates the event stream.
+OutputRecorder = FileRecorder

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -125,15 +126,21 @@ class EvaluationCache:
         A fingerprint mismatch returns an *empty* cache with the given
         fingerprint rather than raising — stale entries from a
         different target or measurement setup are simply not reusable.
+        Likewise a corrupt or truncated cache file (a run killed during
+        an old non-atomic write, a bad disk) costs only re-measurement:
+        the load warns and starts empty instead of refusing to run.
         """
         path = Path(path)
         if not path.exists():
             raise ConfigError(f"evaluation cache {path} does not exist")
         try:
             payload = json.loads(path.read_text())
-        except json.JSONDecodeError as exc:
-            raise ConfigError(
-                f"evaluation cache {path} is not valid JSON: {exc}") from exc
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            warnings.warn(
+                f"evaluation cache {path} is corrupt ({exc}); starting "
+                "with an empty cache — previously cached evaluations "
+                "will be re-measured", RuntimeWarning, stacklevel=2)
+            return cls(fingerprint)
         if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
             raise ConfigError(
                 f"{path} is not an evaluation cache file")

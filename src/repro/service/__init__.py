@@ -1,0 +1,11 @@
+"""GeST-as-a-service: the asyncio run orchestrator.
+
+Pairs with :mod:`repro.store` — the store is the queue and the ledger,
+this package is the execution loop.  ``gest serve`` runs an
+:class:`Orchestrator`; ``gest submit`` / ``gest runs`` / ``gest tail``
+talk to the store directly and need no live server.
+"""
+
+from .orchestrator import Orchestrator, execute_run
+
+__all__ = ["Orchestrator", "execute_run"]

@@ -1,0 +1,27 @@
+"""Sqlite-backed result store (GeST-as-a-service persistence layer).
+
+Everything a long-running generation service needs to remember lives
+in one WAL-mode, schema-versioned sqlite file:
+
+* :class:`RunStore` — the ledger: submitted runs and their lifecycle,
+  per-generation stats, winner sources, resume checkpoints, and the
+  per-run event log that ``gest tail`` streams;
+* :class:`StoreRecorder` — the engine-event subscriber
+  (:mod:`repro.core.events`) that writes a live run into the store;
+* :class:`SharedEvaluationCache` — the store-backed evaluation-cache
+  backend, sharing content-addressed entries safely across concurrent
+  runs.
+
+The store is deliberately independent of the service layer: batch
+scripts can submit, query and ingest runs without an orchestrator, and
+:mod:`repro.service` is just one consumer.
+"""
+
+from .runstore import (SCHEMA_VERSION, RunRow, RunStore, StoreRecorder,
+                       ensure_schema, open_store_connection)
+from .sharedcache import SharedEvaluationCache
+
+__all__ = [
+    "SCHEMA_VERSION", "RunRow", "RunStore", "StoreRecorder",
+    "ensure_schema", "open_store_connection", "SharedEvaluationCache",
+]

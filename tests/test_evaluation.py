@@ -218,17 +218,35 @@ class TestCachePersistence:
         assert len(loaded) == 0
         assert loaded.fingerprint == "platform-b"
 
-    def test_missing_and_malformed_files_rejected(self, tmp_path):
+    def test_missing_and_wrong_format_files_rejected(self, tmp_path):
         with pytest.raises(ConfigError, match="does not exist"):
             EvaluationCache.load(tmp_path / "nope.json")
-        bad = tmp_path / "bad.json"
-        bad.write_text("not json")
-        with pytest.raises(ConfigError, match="not valid JSON"):
-            EvaluationCache.load(bad)
         wrong = tmp_path / "wrong.json"
         wrong.write_text('{"format": "something-else"}')
         with pytest.raises(ConfigError, match="not an evaluation cache"):
             EvaluationCache.load(wrong)
+
+    def test_corrupt_cache_warns_and_starts_empty(self, tmp_path):
+        """A mangled cache file costs re-measurement, not the run:
+        load warns and returns an empty cache instead of crashing."""
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            cache = EvaluationCache.load(bad, "fp")
+        assert len(cache) == 0
+        assert cache.fingerprint == "fp"
+
+    def test_truncated_cache_warns_and_starts_empty(self, tmp_path):
+        """A cache file torn mid-write (killed run, full disk) is
+        treated the same as corrupt: warn, start empty."""
+        cache = EvaluationCache("fp")
+        cache.put("src-a", CachedEvaluation((1.0, 2.0)))
+        path = cache.save(tmp_path / "cache.json")
+        intact = path.read_text()
+        path.write_text(intact[:len(intact) // 2])
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            loaded = EvaluationCache.load(path, "fp")
+        assert len(loaded) == 0
 
 
 # ---------------------------------------------------------------------------

@@ -89,7 +89,8 @@ class TestCliParser:
         sub = actions["command"]
         assert set(sub.choices) == {"run", "measure", "lint", "check",
                                     "analyze", "selfcheck", "stats",
-                                    "presets"}
+                                    "presets", "serve", "submit",
+                                    "runs", "tail"}
 
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "c.xml"])
