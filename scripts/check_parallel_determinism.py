@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Cross-check the evaluation layer's determinism contract end-to-end.
 
-Runs the shipped arm_power configuration (at a reduced scale) four
+Runs the shipped arm_power configuration (at a reduced scale) several
 times — SerialBackend, ProcessPoolBackend(2), SerialBackend with the
 evaluation cache, and SerialBackend with steady-state kernel detection
-disabled (full cycle-by-cycle simulation) — and verifies all four
+disabled (full cycle-by-cycle simulation) — and verifies they all
 produce identical run histories and bit-identical population binaries.
+``--backend batched`` (or ``auto``) swaps the non-reference variants'
+executor for the population-vectorized path, checking the batched
+render→measure→score pass against the serial loop end-to-end.
 The last variant is the tiling contract end-to-end: stopping at a
 recurring scheduler state and analytically tiling the detected period
 must be observationally invisible to the whole GA.  Exits non-zero on
@@ -32,6 +35,7 @@ from repro.core.output import OutputRecorder
 from repro.cpu import SimulatedMachine, SimulatedTarget
 from repro.evaluation import (EvaluationCache, ProcessPoolBackend,
                               SerialBackend)
+from repro.evaluation.backends import AutoSelectBackend, BatchedBackend
 from repro.measurement.base import Measurement
 from repro.search import STRATEGIES
 
@@ -69,18 +73,32 @@ def main() -> int:
                         choices=STRATEGIES.names(),
                         help="search strategy to run the cross-check "
                              "under (default: genetic)")
+    parser.add_argument("--backend", default="serial",
+                        choices=("serial", "batched", "auto"),
+                        help="executor for the non-reference variants "
+                             "(default: serial); 'batched' checks the "
+                             "population-vectorized pass against the "
+                             "serial reference")
     args = parser.parse_args()
+    challenger = {
+        "serial": SerialBackend,
+        "batched": BatchedBackend,
+        "auto": AutoSelectBackend,
+    }[args.backend]
     failures = 0
     with tempfile.TemporaryDirectory() as raw:
         workdir = Path(raw)
         variants = [
             ("serial", lambda: (SerialBackend(), None), True),
-            ("parallel", lambda: (ProcessPoolBackend(2), None), True),
-            ("cached", lambda: (SerialBackend(),
+            (args.backend if args.backend != "serial" else "parallel",
+             lambda: ((challenger(), None)
+                      if args.backend != "serial"
+                      else (ProcessPoolBackend(2), None)), True),
+            ("cached", lambda: (challenger(),
                                 EvaluationCache("cross-check")), True),
             # Full cycle-by-cycle simulation: the steady-state tiling
             # contract says this must be bit-identical to the default.
-            ("untiled", lambda: (SerialBackend(), None), False),
+            ("untiled", lambda: (challenger(), None), False),
         ]
         histories = {}
         recorders = {}
@@ -94,7 +112,7 @@ def main() -> int:
                 strategy=args.strategy)
 
         reference = histories["serial"]
-        for name in ("parallel", "cached", "untiled"):
+        for name, _, _ in variants[1:]:
             if histories[name].generations != reference.generations:
                 print(f"FAIL: {name} run history differs from serial")
                 for serial_g, other_g in zip(reference.generations,

@@ -97,7 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="evaluation worker processes (default: the "
                           "config's <evaluation workers=...>, or 1); "
-                          "each worker replicates the simulated board")
+                          "each worker replicates the simulated board; "
+                          "0 means auto — size the pool from this "
+                          "machine and pick the engine per generation")
+    run.add_argument("--backend", default=None,
+                     choices=("auto", "serial", "batched", "pool"),
+                     help="evaluation execution engine (default: the "
+                          "config's <evaluation backend=...>, or auto); "
+                          "'batched' evaluates a whole generation as "
+                          "one vectorized pass, 'auto' routes each "
+                          "generation to the cheapest engine")
     run.add_argument("--strategy", default=None,
                      choices=STRATEGIES.names(),
                      help="search strategy proposing populations "
@@ -275,7 +284,7 @@ def _command_run(args: argparse.Namespace) -> int:
 
     engine = GeneticEngine(config, measurement, fitness, recorder=recorder,
                            screen=screen, cache=cache, workers=args.workers,
-                           strategy=args.strategy)
+                           backend=args.backend, strategy=args.strategy)
     history = engine.run(args.generations)
     if cache is not None and cache_path is not None:
         cache.save(cache_path)

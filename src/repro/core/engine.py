@@ -36,8 +36,8 @@ from pathlib import Path
 from random import Random
 from typing import Callable, List, Optional, Sequence, Union
 
-from ..evaluation.backends import ExecutorBackend, ProcessPoolBackend, \
-    SerialBackend
+from ..evaluation.backends import AutoSelectBackend, BatchedBackend, \
+    ExecutorBackend, ProcessPoolBackend, SerialBackend
 from ..evaluation.cache import EvaluationCache
 from ..evaluation.evaluator import GenerationOutcome, StagedEvaluator
 from ..evaluation.pipeline import (EvaluationPipeline, FitnessProtocol,
@@ -108,6 +108,11 @@ class GenerationStats:
     #: Cumulative per-stage evaluation seconds for this generation.
     timings: StageTimings = field(default_factory=StageTimings,
                                   compare=False)
+    #: Which execution engine evaluated this generation's cache misses
+    #: ("serial", "batched", "pool") and — for auto-selecting backends
+    #: — why it was chosen.  Observability only, like the timings.
+    backend: str = field(default="", compare=False)
+    backend_reason: str = field(default="", compare=False)
 
 
 @dataclass
@@ -148,6 +153,38 @@ def derive_run_id(config: RunConfig, strategy_name: str) -> str:
     digest.update(b"\x00")
     digest.update(strategy_name.encode("utf-8"))
     return "run-" + digest.hexdigest()[:12]
+
+
+def _resolve_backend(name: Optional[str],
+                     workers: int) -> ExecutorBackend:
+    """Build the executor backend for a name/worker-count pair.
+
+    ``workers == 0`` means "auto": size the worker pool from the
+    machine and let :class:`AutoSelectBackend` route each generation.
+    With ``name`` empty/"auto", one worker keeps the classic
+    :class:`SerialBackend` and several workers get the auto-selector —
+    which falls back to serial or batched execution on generations too
+    small to amortise the pool, instead of silently losing to fork and
+    pickle overhead as the unconditional pool default did.
+    """
+    if workers < 0:
+        raise ConfigError(
+            f"evaluation workers must be >= 0 (0 = auto), got {workers}")
+    pool_workers = workers if workers > 0 else (os.cpu_count() or 1)
+    label = (name or "auto").strip().lower()
+    if label == "serial":
+        return SerialBackend()
+    if label == "batched":
+        return BatchedBackend()
+    if label == "pool":
+        return ProcessPoolBackend(pool_workers)
+    if label == "auto":
+        if workers == 1:
+            return SerialBackend()
+        return AutoSelectBackend(pool_workers)
+    raise ConfigError(
+        f"unknown evaluation backend {name!r}; expected one of "
+        "serial, batched, pool, auto")
 
 
 def _workers_from_environment() -> Optional[int]:
@@ -201,16 +238,23 @@ class GeneticEngine:
         without entering the measurement path; counts appear in
         :class:`GenerationStats`.
     backend:
-        Optional explicit :class:`ExecutorBackend`.  Defaults from
-        ``workers``: 1 → :class:`SerialBackend`, N > 1 →
-        :class:`ProcessPoolBackend`.
+        Optional explicit :class:`ExecutorBackend` instance, or one of
+        the names ``"serial"``, ``"batched"``, ``"pool"``, ``"auto"``
+        (also settable via ``<evaluation backend=...>`` in the config).
+        Defaults from ``workers``: 1 → :class:`SerialBackend`, 0 (auto)
+        or N > 1 → :class:`AutoSelectBackend`, which sizes each
+        generation against measured crossover points instead of
+        unconditionally paying process-pool overhead.
     cache:
         Optional explicit :class:`EvaluationCache`; defaults to a fresh
         cache when ``config.evaluation.cache`` is set.
     workers:
-        Worker-count shortcut when no explicit backend is given; wins
+        Worker count when no explicit backend instance is given; wins
         over the ``GEST_EVAL_WORKERS`` environment variable, which in
-        turn wins over ``config.evaluation.workers``.
+        turn wins over ``config.evaluation.workers``.  ``0`` means
+        "auto" — let :class:`AutoSelectBackend` size the pool from the
+        machine — in the argument, the environment variable and the
+        config alike.
     strategy:
         Which search proposes populations: a registered strategy name,
         a ready :class:`~repro.search.SearchStrategy` instance, or
@@ -231,7 +275,7 @@ class GeneticEngine:
                  rng: Optional[Random] = None,
                  checkpoint_path: Optional[Union[str, Path]] = None,
                  screen: Optional[ScreenProtocol] = None,
-                 backend: Optional[ExecutorBackend] = None,
+                 backend: Optional[Union[ExecutorBackend, str]] = None,
                  cache: Optional[EvaluationCache] = None,
                  workers: Optional[int] = None,
                  strategy: Optional[Union[str, SearchStrategy]] = None,
@@ -267,13 +311,14 @@ class GeneticEngine:
             template=self.template, measurement=measurement,
             fitness=fitness, screen=screen,
             noise_seed=config.ga.seed if config.ga.seed is not None else 0)
-        if backend is None:
+        if not isinstance(backend, ExecutorBackend):
             if workers is None:
                 workers = _workers_from_environment()
             if workers is None:
                 workers = config.evaluation.workers
-            backend = SerialBackend() if workers <= 1 \
-                else ProcessPoolBackend(workers)
+            if backend is None:
+                backend = config.evaluation.backend
+            backend = _resolve_backend(backend, workers)
         if cache is None and config.evaluation.cache:
             cache = EvaluationCache(self._cache_fingerprint(pipeline))
         self.evaluator = StagedEvaluator(pipeline, backend=backend,
@@ -549,6 +594,8 @@ class GeneticEngine:
             stats.compile_cache_hits = outcome.compile_cache_hits
             stats.compile_cache_misses = outcome.compile_cache_misses
             stats.timings = outcome.timings
+            stats.backend = outcome.backend
+            stats.backend_reason = outcome.backend_reason
         history.generations.append(stats)
         record = {"schema": STATS_SCHEMA_VERSION, "run_id": self.run_id,
                   **asdict(stats)}

@@ -39,8 +39,8 @@ from .pipeline import ExecutionTrace, PipelineSimulator
 from .power import PowerModel
 from .thermal import ThermalModel
 
-__all__ = ["RunResult", "SimulatedMachine", "ENVIRONMENTS",
-           "SHARED_SEGMENT_BASE"]
+__all__ = ["RunResult", "SimulatedMachine", "BatchedMachine",
+           "ENVIRONMENTS", "SHARED_SEGMENT_BASE"]
 
 #: Memory addresses at or above this boundary live in the *shared*
 #: segment: accesses there traverse the interconnect to a shared LLC
@@ -163,13 +163,20 @@ class SimulatedMachine:
 
     # -- toolchain -----------------------------------------------------------
 
-    def compile(self, source: str, name: str = "stress.s") -> Program:
+    def compile(self, source: str, name: str = "stress.s",
+                builder=None) -> Program:
         """Assemble source text; raises AssemblyError on bad code.
 
         Results are cached content-addressed on ``(name, source)`` —
         assembly is pure, and :class:`~repro.isa.model.Program` is
         treated as immutable by every consumer — with LRU eviction at
         :data:`COMPILE_CACHE_CAP` entries.  Failures are not cached.
+
+        ``builder`` optionally supplies the Program on a cache miss in
+        place of the full assembler — the batched evaluation path
+        passes a :class:`~repro.isa.splice.TemplateSplicer` here.  The
+        builder must produce exactly what ``assemble`` would (splicers
+        self-validate), so cache content is identical either way.
         """
         key = (name, source)
         cached = self._compile_cache.get(key)
@@ -177,7 +184,10 @@ class SimulatedMachine:
             self._compile_cache.move_to_end(key)
             self.compile_cache_hits += 1
             return cached
-        program = self.assembler.assemble(source, name=name)
+        if builder is not None:
+            program = builder(source, name)
+        else:
+            program = self.assembler.assemble(source, name=name)
         self.compile_cache_misses += 1
         self._compile_cache[key] = program
         if len(self._compile_cache) > self.COMPILE_CACHE_CAP:
@@ -387,3 +397,159 @@ class SimulatedMachine:
         if sigma_rel <= 0.0:
             return value
         return value * (1.0 + self._rng.gauss(0.0, sigma_rel))
+
+
+class BatchedMachine:
+    """Population-batched execution path over a :class:`SimulatedMachine`.
+
+    :meth:`run_batch` evaluates a whole generation's programs in one
+    pass: the pipeline model runs as a lockstep array simulation
+    (:func:`repro.cpu.batch.simulate_population`), the power model's
+    energy accumulation stacks into ``(population, cycles)`` arrays,
+    and the PDN responses solve as one vectorized Euler integration —
+    all bit-identical per individual to :meth:`SimulatedMachine.run`.
+
+    Measurement noise is replayed per individual: the caller passes one
+    noise key per program (the evaluation layer's per-source substream
+    key) and the batch reseeds and draws each individual's noise in
+    exactly the order the serial path would, so every observable —
+    including the noisy samples — matches the serial result bit for
+    bit.  Because the underlying simulation is deterministic, repeated
+    measurements (``repeats > 1``) replay only the noise draws instead
+    of re-running the simulator.
+
+    Machines with a :class:`~repro.cpu.cache.MemoryHierarchy` attached
+    fall back to the serial path internally (the lockstep scheduler
+    models core-private execution only); the call still returns the
+    same results, just without the batching speedup.
+    """
+
+    def __init__(self, machine: SimulatedMachine) -> None:
+        self.machine = machine
+
+    def run_batch(self, programs: List[Program],
+                  duration_s: float = 5.0,
+                  cores: Optional[int] = None,
+                  power_sample_count: int = 10,
+                  supply_v: Optional[float] = None,
+                  noise_keys: Optional[List[int]] = None,
+                  repeats: int = 1) -> List[List[RunResult]]:
+        """Run every program; returns one result list (``repeats`` long)
+        per program, in order."""
+        machine = self.machine
+        if duration_s <= 0:
+            raise SimulationError("duration must be positive")
+        if power_sample_count < 1:
+            raise SimulationError("need at least one power sample")
+        if repeats < 1:
+            raise SimulationError("repeats must be >= 1")
+        cores = cores if cores is not None else 1
+        if not 1 <= cores <= machine.arch.core_count:
+            raise SimulationError(
+                f"cores={cores} outside 1..{machine.arch.core_count}")
+        if noise_keys is not None and len(noise_keys) != len(programs):
+            raise SimulationError("need one noise key per program")
+        if not programs:
+            return []
+
+        if machine.hierarchy is not None:
+            # Cache modelling is core-private serial state; run the
+            # ordinary path per program (reseeding exactly as the
+            # evaluation layer would).
+            out: List[List[RunResult]] = []
+            for index, program in enumerate(programs):
+                if noise_keys is not None:
+                    machine.reseed(noise_keys[index])
+                out.append([
+                    machine.run(program, duration_s=duration_s, cores=cores,
+                                power_sample_count=power_sample_count,
+                                supply_v=supply_v)
+                    for _ in range(repeats)])
+            return out
+
+        from .batch import simulate_population
+        supply = supply_v if supply_v is not None else machine.supply_v
+        traces = simulate_population(
+            programs, machine.arch, max_cycles=machine.sim_cycles,
+            detect_steady_state=machine.steady_state_detection)
+
+        power = machine.power
+        scale = (supply / machine.arch.vdd_nominal) ** 2
+        static = power.static_power_w(supply)
+        frequency = machine.arch.frequency_hz
+        idle = machine.idle_core_power_w()
+        idle_cores = machine.arch.core_count - cores
+        root_cores = np.sqrt(cores)
+
+        energies = power.energy_traces_pj(programs, traces)
+        core_powers: List[float] = []
+        chip_powers: List[float] = []
+        noc_powers: List[float] = []
+        currents: List[np.ndarray] = []
+        for program, trace, energy in zip(programs, traces, energies):
+            energy = energy * scale
+            # Mirrors PowerModel.core_power_w with the shared trace.
+            start = int(len(energy) * 0.2)
+            steady = energy[start:] if len(energy) > start else energy
+            mean_pj = float(np.mean(steady)) if len(steady) else 0.0
+            core_power = mean_pj * 1e-12 * frequency + static
+            noc_power = machine._noc_power_w(program, trace, cores, supply)
+            chip_power = power.chip_power_w(core_power, cores) \
+                + idle * idle_cores + noc_power
+            # Mirrors PowerModel.current_trace_a with the shared trace.
+            current = (energy * 1e-12 * frequency + static) / supply
+            mean_current = float(np.mean(current))
+            currents.append(mean_current * cores
+                            + (current - mean_current) * root_cores)
+            core_powers.append(core_power)
+            chip_powers.append(chip_power)
+            noc_powers.append(noc_power)
+
+        voltages = machine.pdn.simulate_batch(
+            currents, supply,
+            periods=[t.period_cycles or None for t in traces],
+            prefixes=[t.prefix_cycles for t in traces])
+        critical = machine.critical_voltage_v()
+
+        power_sigma = _POWER_NOISE[machine.environment]
+        ipc_sigma = _IPC_NOISE[machine.environment]
+        temp_sigma = _TEMP_NOISE_C[machine.environment]
+        results: List[List[RunResult]] = []
+        for index, (program, trace) in enumerate(zip(programs, traces)):
+            if noise_keys is not None:
+                machine.reseed(noise_keys[index])
+            chip_power = chip_powers[index]
+            sensor = machine.thermal.sensor_reading_c(chip_power, duration_s)
+            voltage = voltages[index]
+            crashed = voltage.v_min < critical
+            rounds: List[RunResult] = []
+            for _ in range(repeats):
+                # Noise draw order matches SimulatedMachine.run exactly:
+                # ipc, then the power samples, then the temperatures.
+                ipc = machine._noisy(trace.ipc, ipc_sigma)
+                samples = [
+                    max(0.0, machine._noisy(chip_power, power_sigma))
+                    for _ in range(power_sample_count)
+                ]
+                temperature_samples = [
+                    sensor + machine._rng.gauss(0.0, temp_sigma)
+                    for _ in range(power_sample_count)
+                ]
+                rounds.append(RunResult(
+                    program_name=program.name,
+                    cores_used=cores,
+                    duration_s=duration_s,
+                    supply_v=supply,
+                    ipc=max(0.0, ipc),
+                    core_power_w=core_powers[index],
+                    chip_power_w=chip_power,
+                    power_samples_w=samples,
+                    temperature_samples_c=temperature_samples,
+                    voltage=voltage,
+                    crashed=crashed,
+                    trace=trace,
+                    cache=trace.cache_summary,
+                    noc_power_w=noc_powers[index],
+                ))
+            results.append(rounds)
+        return results

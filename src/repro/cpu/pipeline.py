@@ -53,7 +53,7 @@ nothing.  Those runs fall back to the full cycle-by-cycle simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -424,12 +424,12 @@ class PipelineSimulator:
             cycle += 1
 
         return self._build_trace(
-            slots, loop_len, max_cycles, prefix, period,
-            issue_slots, issue_offsets, occupancy,
+            [slot.group for slot in slots], loop_len, max_cycles,
+            prefix, period, issue_slots, issue_offsets, occupancy,
             extra_energy, hierarchy)
 
     @staticmethod
-    def _build_trace(slots: List[_StaticSlot], loop_len: int,
+    def _build_trace(groups: Sequence[str], loop_len: int,
                      max_cycles: int, prefix: int, period: int,
                      issue_slots: List[int], issue_offsets: List[int],
                      occupancy: List[int],
@@ -465,7 +465,7 @@ class PipelineSimulator:
         group_counts: Dict[str, int] = {}
         issued_slots, first_seen = np.unique(slots_arr, return_index=True)
         for slot_index in issued_slots[np.argsort(first_seen)]:
-            group = slots[slot_index].group
+            group = groups[slot_index]
             group_counts[group] = group_counts.get(group, 0) \
                 + int(totals[slot_index])
 

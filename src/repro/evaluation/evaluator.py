@@ -24,6 +24,18 @@ from .pipeline import EmptyMeasurementError, EvaluationPipeline, \
 
 __all__ = ["GenerationOutcome", "StagedEvaluator"]
 
+#: Stable stats labels for the stock backends (fallback: class name).
+_BACKEND_LABELS = {
+    "SerialBackend": "serial",
+    "BatchedBackend": "batched",
+    "ProcessPoolBackend": "pool",
+}
+
+
+def _backend_label(backend) -> str:
+    name = type(backend).__name__
+    return _BACKEND_LABELS.get(name, name)
+
 
 @dataclass
 class GenerationOutcome:
@@ -45,6 +57,10 @@ class GenerationOutcome:
     #: (non-evaluation-cache-hit) results of this pass.
     compile_cache_hits: int = 0
     compile_cache_misses: int = 0
+    #: Which execution engine ran the generation's misses ("serial",
+    #: "batched", "pool", ...) and, for auto-selecting backends, why.
+    backend: str = ""
+    backend_reason: str = ""
 
 
 class StagedEvaluator:
@@ -76,7 +92,15 @@ class StagedEvaluator:
             else:
                 jobs.append((individual, source))
 
-        for item in self.backend.evaluate(self.pipeline, jobs):
+        # Generation-aware backends get the whole batch at once (the
+        # vectorized path needs to see every miss together); classic
+        # backends keep their per-job evaluate contract.
+        runner = getattr(self.backend, "evaluate_generation", None)
+        if callable(runner):
+            items = runner(self.pipeline, jobs)
+        else:
+            items = self.backend.evaluate(self.pipeline, jobs)
+        for item in items:
             if isinstance(item, EmptyMeasurementError):
                 outcome.error = item
                 break
@@ -91,6 +115,9 @@ class StagedEvaluator:
                     screen_failed=item.screen_failed))
 
         self._sync_counters(outcome)
+        outcome.backend = getattr(self.backend, "last_choice", "") \
+            or _backend_label(self.backend)
+        outcome.backend_reason = getattr(self.backend, "last_reason", "")
         outcome.results.sort(key=lambda result: result.uid)
         return outcome
 

@@ -140,10 +140,48 @@ class Measurement(ABC):
         default ``repeats=1`` the two are identical.
         """
 
+    def measure_from_result(self, result: RunResult,
+                            individual: Individual) -> List[float]:
+        """Derive the measurement list from an already-executed run.
+
+        The batched evaluation backend
+        (:class:`repro.evaluation.backends.BatchedBackend`) executes a
+        whole generation's programs in one vectorized pass and then
+        asks each measurement to interpret its individual's
+        :class:`~repro.cpu.machine.RunResult`.  Stock procedures
+        implement this and define :meth:`measure` as
+        ``measure_from_result(execute_on_target(source), individual)``;
+        a procedure whose measurement is pure arithmetic on one
+        ``RunResult`` gets batched execution for free by doing the
+        same.  Procedures that drive the target in richer ways (extra
+        runs, supply sweeps, file I/O) simply don't override this, and
+        the batched backend falls back to their :meth:`measure` —
+        correctness is never contingent on batching.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support batched execution")
+
+    def supports_batching(self) -> bool:
+        """True when :meth:`measure_from_result` is implemented, i.e.
+        one target execution per measurement fully determines the
+        values."""
+        return type(self).measure_from_result \
+            is not Measurement.measure_from_result
+
     def measure_repeated(self, source_text: str,
                          individual: Individual) -> List[float]:
         """Run :meth:`measure` ``repeats`` times and aggregate each
         measurement index across repetitions.
+        """
+        if self.repeats == 1:
+            return self.measure(source_text, individual)
+        rounds = [self.measure(source_text, individual)
+                  for _ in range(self.repeats)]
+        return self.aggregate_rounds(rounds, individual)
+
+    def aggregate_rounds(self, rounds: List[List[float]],
+                         individual: Individual) -> List[float]:
+        """Aggregate per-repeat measurement lists index by index.
 
         Every repeat must return the same number of values; ragged
         widths mean the procedure's output schema is unstable, and
@@ -151,16 +189,14 @@ class Measurement(ABC):
         downstream measurement indices (output file names, complex
         fitness terms), so they raise :class:`ConfigError` instead.
         """
-        if self.repeats == 1:
-            return self.measure(source_text, individual)
-        rounds = [self.measure(source_text, individual)
-                  for _ in range(self.repeats)]
+        if len(rounds) == 1:
+            return rounds[0]
         widths = [len(r) for r in rounds]
         if len(set(widths)) > 1:
             uid = individual.uid if individual is not None else "?"
             raise ConfigError(
                 f"measurement {type(self).__name__!r} returned ragged "
-                f"measurement widths {widths} across {self.repeats} "
+                f"measurement widths {widths} across {len(rounds)} "
                 f"repeats for individual uid={uid}; every repeat must "
                 "return the same number of values")
         width = widths[0]

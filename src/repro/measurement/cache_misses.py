@@ -15,6 +15,7 @@ from typing import List
 
 from ..core.errors import MeasurementError
 from ..core.individual import Individual
+from ..cpu.machine import RunResult
 from .base import Measurement
 
 __all__ = ["CacheMissMeasurement"]
@@ -26,7 +27,11 @@ class CacheMissMeasurement(Measurement):
 
     def measure(self, source_text: str,
                 individual: Individual) -> List[float]:
-        result = self.execute_on_target(source_text)
+        return self.measure_from_result(
+            self.execute_on_target(source_text), individual)
+
+    def measure_from_result(self, result: RunResult,
+                            individual: Individual) -> List[float]:
         if result.cache is None:
             raise MeasurementError(
                 "cache-miss measurement needs a machine with a "

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List
 
 from ..core.individual import Individual
+from ..cpu.machine import RunResult
 from .base import Measurement
 
 __all__ = ["OscilloscopeMeasurement"]
@@ -23,7 +24,11 @@ class OscilloscopeMeasurement(Measurement):
 
     def measure(self, source_text: str,
                 individual: Individual) -> List[float]:
-        result = self.execute_on_target(source_text)
+        return self.measure_from_result(
+            self.execute_on_target(source_text), individual)
+
+    def measure_from_result(self, result: RunResult,
+                            individual: Individual) -> List[float]:
         trace = result.voltage
         return [trace.peak_to_peak, trace.max_droop, trace.v_min,
                 trace.v_max, result.avg_power_w]

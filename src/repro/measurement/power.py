@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import List
 
 from ..core.individual import Individual
+from ..cpu.machine import RunResult
 from .base import Measurement
 
 __all__ = ["PowerMeasurement"]
@@ -25,7 +26,11 @@ class PowerMeasurement(Measurement):
 
     def measure(self, source_text: str,
                 individual: Individual) -> List[float]:
-        result = self.execute_on_target(source_text)
+        return self.measure_from_result(
+            self.execute_on_target(source_text), individual)
+
+    def measure_from_result(self, result: RunResult,
+                            individual: Individual) -> List[float]:
         samples = result.power_samples_w
         average = sum(samples) / len(samples)
         return [average, max(samples)]

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List
 
 from ..core.individual import Individual
+from ..cpu.machine import RunResult
 from .base import Measurement
 
 __all__ = ["TemperatureMeasurement"]
@@ -24,5 +25,9 @@ class TemperatureMeasurement(Measurement):
 
     def measure(self, source_text: str,
                 individual: Individual) -> List[float]:
-        result = self.execute_on_target(source_text)
+        return self.measure_from_result(
+            self.execute_on_target(source_text), individual)
+
+    def measure_from_result(self, result: RunResult,
+                            individual: Individual) -> List[float]:
         return [result.temperature_c, result.avg_power_w, result.ipc]

@@ -24,6 +24,7 @@ from repro.cpu import SimulatedMachine, SimulatedTarget
 from repro.evaluation import (CachedEvaluation, EvaluationCache,
                               EvaluationPipeline, ProcessPoolBackend,
                               SerialBackend, StageTimings, noise_key)
+from repro.evaluation.backends import AutoSelectBackend, BatchedBackend
 from repro.fitness.default_fitness import DefaultFitness
 from repro.measurement import PowerMeasurement
 
@@ -94,33 +95,74 @@ class TestBackendEquivalence:
         for a, b in zip(serial_files, pooled_files):
             assert a.read_bytes() == b.read_bytes()
 
-    def test_workers_argument_selects_pool(self, tiny_config):
+    def test_workers_argument_selects_auto_pool(self, tiny_config):
         engine = GeneticEngine(tiny_config, _LdrCounter(),
                                DefaultFitness(), workers=2)
-        assert isinstance(engine.evaluator.backend, ProcessPoolBackend)
-        assert engine.evaluator.backend.workers == 2
+        assert isinstance(engine.evaluator.backend, AutoSelectBackend)
+        assert engine.evaluator.backend.pool_workers == 2
         engine.evaluator.close()
 
     @pytest.mark.serial_evaluation
-    def test_config_workers_selects_pool(self, tiny_config):
+    def test_config_workers_selects_auto_pool(self, tiny_config):
         tiny_config.evaluation.workers = 3
         engine = GeneticEngine(tiny_config, _LdrCounter(),
                                DefaultFitness())
-        assert isinstance(engine.evaluator.backend, ProcessPoolBackend)
-        assert engine.evaluator.backend.workers == 3
+        assert isinstance(engine.evaluator.backend, AutoSelectBackend)
+        assert engine.evaluator.backend.pool_workers == 3
         engine.evaluator.close()
+
+    def test_explicit_backend_names(self, tiny_config):
+        for name, expected in (("serial", SerialBackend),
+                               ("batched", BatchedBackend),
+                               ("pool", ProcessPoolBackend),
+                               ("auto", SerialBackend)):
+            engine = GeneticEngine(tiny_config, _LdrCounter(),
+                                   DefaultFitness(), backend=name,
+                                   workers=1)
+            assert isinstance(engine.evaluator.backend, expected), name
+            engine.evaluator.close()
+        with pytest.raises(ConfigError, match="backend"):
+            GeneticEngine(tiny_config, _LdrCounter(), DefaultFitness(),
+                          backend="boards")
 
     @pytest.mark.serial_evaluation
     def test_environment_override(self, tiny_config, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV_VAR, "2")
         engine = GeneticEngine(tiny_config, _LdrCounter(),
                                DefaultFitness())
-        assert isinstance(engine.evaluator.backend, ProcessPoolBackend)
+        assert isinstance(engine.evaluator.backend, AutoSelectBackend)
         engine.evaluator.close()
         # An explicit workers argument wins over the environment.
         engine = GeneticEngine(tiny_config, _LdrCounter(),
                                DefaultFitness(), workers=1)
         assert isinstance(engine.evaluator.backend, SerialBackend)
+
+    @pytest.mark.serial_evaluation
+    def test_workers_zero_means_auto(self, tiny_config, monkeypatch):
+        # The "0 = auto" contract holds for the environment variable,
+        # the argument, and the config field alike — historically the
+        # env path accepted 0 (falling through to serial) while the
+        # config path rejected it, so pin all three.
+        monkeypatch.setenv(WORKERS_ENV_VAR, "0")
+        engine = GeneticEngine(tiny_config, _LdrCounter(),
+                               DefaultFitness())
+        assert isinstance(engine.evaluator.backend, AutoSelectBackend)
+        assert engine.evaluator.backend.pool_workers >= 1
+        engine.evaluator.close()
+        monkeypatch.delenv(WORKERS_ENV_VAR)
+        engine = GeneticEngine(tiny_config, _LdrCounter(),
+                               DefaultFitness(), workers=0)
+        assert isinstance(engine.evaluator.backend, AutoSelectBackend)
+        engine.evaluator.close()
+        tiny_config.evaluation.workers = 0
+        tiny_config.evaluation.validate()  # 0 is a legal config value
+        engine = GeneticEngine(tiny_config, _LdrCounter(),
+                               DefaultFitness())
+        assert isinstance(engine.evaluator.backend, AutoSelectBackend)
+        engine.evaluator.close()
+        with pytest.raises(ConfigError, match="workers"):
+            GeneticEngine(tiny_config, _LdrCounter(), DefaultFitness(),
+                          workers=-1)
 
     @pytest.mark.serial_evaluation
     def test_bad_environment_value_rejected(self, tiny_config,
@@ -452,4 +494,5 @@ class TestEvaluationConfig:
 
     def test_invalid_workers_rejected(self):
         with pytest.raises(ConfigError, match="workers"):
-            EvaluationParameters(workers=0).validate()
+            EvaluationParameters(workers=-1).validate()
+        EvaluationParameters(workers=0).validate()  # 0 = auto
