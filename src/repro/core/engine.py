@@ -323,6 +323,12 @@ class GeneticEngine:
             cache = EvaluationCache(self._cache_fingerprint(pipeline))
         self.evaluator = StagedEvaluator(pipeline, backend=backend,
                                          cache=cache)
+        # Strategies that learn from past evaluations (the surrogate
+        # wrapper) may hook the evaluator once it exists — e.g. to
+        # snapshot the cache into a training warm-start.
+        warm_start = getattr(self.strategy, "warm_start", None)
+        if callable(warm_start):
+            warm_start(self.evaluator)
         self.run_id = run_id if run_id is not None \
             else derive_run_id(config, self.strategy.name)
 

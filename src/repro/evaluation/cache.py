@@ -24,7 +24,7 @@ import json
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from ..core.errors import ConfigError
 
@@ -88,6 +88,17 @@ class EvaluationCache:
 
     def put(self, source_text: str, entry: CachedEvaluation) -> None:
         self._entries[self.key(source_text)] = entry
+
+    def iter_entries(self) -> Iterator[Tuple[str, CachedEvaluation]]:
+        """Yield every ``(key, entry)`` pair, in sorted key order.
+
+        The bulk-read protocol for consumers that want the whole store
+        at once (the surrogate strategy's warm start); subclasses with
+        remote storage override it with one bulk query instead of a
+        per-key lookup.  Does not touch the hit/miss counters.
+        """
+        for key in sorted(self._entries):
+            yield key, self._entries[key]
 
     @property
     def hit_rate(self) -> float:

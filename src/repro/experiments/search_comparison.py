@@ -26,10 +26,10 @@ from .common import GAScale, make_engine, make_machine
 __all__ = ["SearchComparisonResult", "search_comparison",
            "COMPARISON_SEED"]
 
-#: ``static_rank(<base>)`` pseudo-names select the surrogate wrapper
-#: around a base strategy, priced against the experiment's own
-#: platform and metric.
-_WRAPPER_PATTERN = re.compile(r"static_rank\((\w+)\)")
+#: ``static_rank(<base>)`` / ``surrogate(<base>)`` pseudo-names select
+#: a pruning wrapper around a base strategy, priced against the
+#: experiment's own platform (and, for static_rank, metric).
+_WRAPPER_PATTERN = re.compile(r"(static_rank|surrogate)\((\w+)\)")
 
 #: One fixed seed for the whole comparison: every strategy starts from
 #: the identical generation-0 population.  With the default scale this
@@ -78,21 +78,27 @@ def _resolve_strategy(name: str, platform: str,
                       metric: str) -> Union[str, SearchStrategy]:
     """Map a strategy label to what the engine accepts.
 
-    Plain registered names pass through; a ``static_rank(<base>)``
-    pseudo-name builds the wrapper over ``<base>``, pricing candidates
-    against the experiment's platform and metric.
+    Plain registered names pass through; a ``static_rank(<base>)`` or
+    ``surrogate(<base>)`` pseudo-name builds the wrapper over
+    ``<base>``, pricing candidates against the experiment's platform
+    (the learned surrogate predicts the configured fitness directly,
+    so only static_rank needs the metric name).
     """
     match = _WRAPPER_PATTERN.fullmatch(name)
     if match is None:
         return name
-    return make_strategy("static_rank", {
-        "base": match.group(1), "platform": platform, "metric": metric})
+    wrapper, base = match.group(1), match.group(2)
+    params = {"base": base, "platform": platform}
+    if wrapper == "static_rank":
+        params["metric"] = metric
+    return make_strategy(wrapper, params)
 
 
 def search_comparison(platform: str = "xgene2", metric: str = "ipc",
                       seed: int = COMPARISON_SEED,
                       strategies: Sequence[str] = ("genetic",
                                                    "static_rank(genetic)",
+                                                   "surrogate(genetic)",
                                                    "random", "hill_climb",
                                                    "simulated_annealing"),
                       scale: Optional[GAScale] = None

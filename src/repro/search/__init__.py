@@ -14,9 +14,10 @@ MicroGrad centralises tuning mechanisms over a fixed evaluation core:
   the strategy registry;
 * strategies: ``genetic`` (the paper's GA, bit-identical to the
   pre-refactor engine), ``random`` (the paper's baseline),
-  ``hill_climb``, ``simulated_annealing`` and ``static_rank`` (a
-  surrogate wrapper pruning any base strategy's offspring by static
-  predicted fitness).
+  ``hill_climb``, ``simulated_annealing``, ``static_rank`` (a wrapper
+  pruning any base strategy's offspring by static predicted fitness)
+  and ``surrogate`` (a wrapper pruning by an online-learned ridge
+  model, see :mod:`repro.surrogate`).
 
 Importing this package registers every built-in operator and strategy.
 """
@@ -31,6 +32,7 @@ from .random_search import RandomStrategy  # isort:skip
 from .hill_climb import HillClimbStrategy  # isort:skip
 from .annealing import SimulatedAnnealingStrategy  # isort:skip
 from .static_rank import StaticRankStrategy  # isort:skip
+from .surrogate import SurrogateStrategy  # isort:skip
 from .operators import (CROSSOVER_OPERATORS, MUTATION_OPERATORS,
                         REPLACEMENT_POLICIES, SELECTION_OPERATORS)
 from .registry import Registry, suggest
@@ -41,7 +43,7 @@ __all__ = [
     "REPLACEMENT_POLICIES", "STRATEGIES",
     "SearchStrategy", "GeneticStrategy", "RandomStrategy",
     "HillClimbStrategy", "SimulatedAnnealingStrategy",
-    "StaticRankStrategy",
+    "StaticRankStrategy", "SurrogateStrategy",
     "make_strategy",
 ]
 

@@ -128,6 +128,10 @@ class StaticRankStrategy(SearchStrategy):
         #: genome key -> (measurements, fitness, compile_failed,
         #: screen_failed) of every simulated individual seen so far.
         self._memo: Dict[Tuple, Tuple] = {}
+        #: genome key -> static score; elitism clones and replayed
+        #: genomes recur every generation, and their static score is a
+        #: pure function of the genome, so it is never recomputed.
+        self._score_memo: Dict[Tuple, float] = {}
         #: Lowest simulated fitness observed; placeholder fitnesses of
         #: pruned candidates live strictly below it.
         self._floor = 0.0
@@ -144,14 +148,21 @@ class StaticRankStrategy(SearchStrategy):
     def _score(self, individual: Individual) -> float:
         """Static predicted fitness; -inf for unassemblable genomes
         (they would compile-fail to fitness 0 anyway, so they rank
-        last and are the first pruned)."""
+        last and are the first pruned).  Memoised per genome."""
+        key = individual.genome_key()
+        cached = self._score_memo.get(key)
+        if cached is not None:
+            return cached
         source = self._template.instantiate(individual.render_body())
         try:
             program = self._assembler.assemble(
                 source, name=f"uid{individual.uid}.s")
         except AssemblyError:
-            return float("-inf")
-        return static_score(program, self._arch, self._metric)
+            score = float("-inf")
+        else:
+            score = static_score(program, self._arch, self._metric)
+        self._score_memo[key] = score
+        return score
 
     # -- the search contract ------------------------------------------------
 
@@ -188,10 +199,16 @@ class StaticRankStrategy(SearchStrategy):
                 pending.append(child)
 
         scores = {child.uid: self._score(child) for child in pending}
-        ranked = sorted(pending, key=lambda c: (-scores[c.uid], c.uid))
-        keep = max(1, math.ceil(self.params["top_fraction"] * len(ranked))) \
-            if ranked else 0
-        selected, pruned = ranked[:keep], ranked[keep:]
+        if self.params["top_fraction"] >= 1.0:
+            # No-prune short-circuit: everything is simulated, so the
+            # ranking sort and the placeholder machinery are dead work.
+            selected: List[Individual] = pending
+            pruned: List[Individual] = []
+        else:
+            ranked = sorted(pending, key=lambda c: (-scores[c.uid], c.uid))
+            keep = max(1, math.ceil(self.params["top_fraction"]
+                                    * len(ranked))) if ranked else 0
+            selected, pruned = ranked[:keep], ranked[keep:]
 
         # Placeholder fitnesses: strictly inside (floor - 1, floor),
         # ordered by static rank, so pruned candidates keep a useful
@@ -251,6 +268,7 @@ class StaticRankStrategy(SearchStrategy):
         return {
             "base_state": self._base.state_dict(),
             "memo": dict(self._memo),
+            "score_memo": dict(self._score_memo),
             "floor": self._floor,
             "pending_scores": dict(self._pending_scores),
             "pruned_uids": sorted(self._pruned_uids),
@@ -264,6 +282,7 @@ class StaticRankStrategy(SearchStrategy):
             return
         self._base.load_state(state.get("base_state") or {})
         self._memo = dict(state.get("memo") or {})
+        self._score_memo = dict(state.get("score_memo") or {})
         self._floor = state.get("floor", 0.0)
         self._pending_scores = dict(state.get("pending_scores") or {})
         self._pruned_uids = set(state.get("pruned_uids") or ())

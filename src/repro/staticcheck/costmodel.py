@@ -642,9 +642,10 @@ def _average_ranks(values: Sequence[float]) -> List[float]:
 
 
 def spearman(xs: Sequence[float], ys: Sequence[float]) -> Optional[float]:
-    """Spearman rank correlation; None when undefined (n < 2 or a
-    constant sequence)."""
-    if len(xs) != len(ys) or len(xs) < 2:
+    """Spearman rank correlation; None when uninformative (n < 3 or a
+    constant sequence — two points always correlate at exactly ±1, so
+    a pair carries no rank information worth reporting)."""
+    if len(xs) != len(ys) or len(xs) < 3:
         return None
     rx, ry = _average_ranks(xs), _average_ranks(ys)
     mean_x = sum(rx) / len(rx)

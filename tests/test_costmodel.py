@@ -485,6 +485,38 @@ class TestStaticRankStrategy:
         assert all("spearman" in row["surrogate"] for row in rows)
         assert rows[0]["surrogate"]["spearman"] is not None
 
+    def test_score_memoised_per_genome(self, tiny_library, tiny_template,
+                                       monkeypatch):
+        # Regression: replayed genomes (elitism clones) used to re-price
+        # every generation; the score memo must hold each genome's
+        # static_score to exactly one computation — including in the
+        # no-prune top_fraction=1.0 case, which also skips the ranking.
+        import repro.search.static_rank as static_rank_module
+        calls = []
+        real = static_rank_module.static_score
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(static_rank_module, "static_score", counting)
+        config = _strategy_config(tiny_library, tiny_template,
+                                  generations=5,
+                                  params={"top_fraction": "1.0"})
+        engine = GeneticEngine(config, _measurement(), DefaultFitness())
+        history = engine.run()
+        # the memo was actually exercised: clones were replayed
+        assert any(g.surrogate["replayed"] > 0
+                   for g in history.generations[1:])
+        # nothing pruned in the no-prune case
+        assert all(g.surrogate["pruned"] == 0
+                   for g in history.generations)
+        # one static_score call per distinct assemblable genome, ever
+        strategy = engine.strategy
+        priced = [s for s in strategy._score_memo.values()
+                  if s != float("-inf")]
+        assert len(calls) == len(priced)
+
     def test_state_round_trip(self, tiny_config):
         strategy = make_strategy("static_rank", None)
         strategy.bind(tiny_config, make_rng(0), iter(range(10_000)).__next__)
@@ -533,9 +565,17 @@ class TestSpearman:
 
     def test_ties_average(self):
         assert spearman([1, 1, 2], [1, 1, 2]) == pytest.approx(1.0)
+        # Tied ranks take their average position; a tie on one side only
+        # still yields a defined, sub-perfect correlation.
+        rho = spearman([1, 1, 2, 3], [4, 3, 2, 1])
+        assert rho is not None and -1.0 < rho < 0.0
 
     def test_undefined_cases(self):
         assert spearman([], []) is None
         assert spearman([1.0], [2.0]) is None
+        # n == 2 is uninformative: two distinct points always correlate
+        # at exactly +/-1, so the figure carries no signal.
+        assert spearman([1, 2], [2, 1]) is None
         assert spearman([1, 1, 1], [1, 2, 3]) is None
+        assert spearman([1, 2, 3], [7, 7, 7]) is None
         assert spearman([1, 2], [1, 2, 3]) is None

@@ -37,7 +37,7 @@ from repro.staticcheck import lint_config, lint_config_file, lint_search
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 ALL_STRATEGIES = ("genetic", "random", "hill_climb",
-                  "simulated_annealing", "static_rank")
+                  "simulated_annealing", "static_rank", "surrogate")
 
 
 def _power_measurement(seed=99):
